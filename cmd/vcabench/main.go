@@ -1,0 +1,68 @@
+// Command vcabench runs the paper's experiments by ID.
+//
+// Usage:
+//
+//	vcabench -list
+//	vcabench -run fig4 [-scale quick|paper|tiny] [-seed 42]
+//	vcabench -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/vcabench/vcabench"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		run   = flag.String("run", "", "comma-separated experiment IDs, or \"all\"")
+		scale = flag.String("scale", "quick", "experiment scale: tiny, quick or paper")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range vcabench.List() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sc vcabench.Scale
+	switch *scale {
+	case "tiny":
+		sc = vcabench.TinyScale
+	case "quick":
+		sc = vcabench.QuickScale
+	case "paper":
+		sc = vcabench.PaperScale
+	default:
+		fmt.Fprintf(os.Stderr, "vcabench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := strings.Split(*run, ",")
+	if *run == "all" {
+		ids = ids[:0]
+		for _, e := range vcabench.List() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		fmt.Printf("=== %s (scale=%s, seed=%d) ===\n", id, sc.Name, *seed)
+		if err := vcabench.Run(id, *seed, sc, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

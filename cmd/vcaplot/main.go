@@ -1,0 +1,81 @@
+// Command vcaplot renders ASCII CDF plots from CSV sample data.
+//
+// Input format: one "label,value" pair per line (a header line is
+// skipped if its value column is not numeric). All samples sharing a
+// label become one curve.
+//
+// Usage:
+//
+//	vcaplot -in lags.csv -x "video lag (ms)" -title "fig4 zoom"
+//	vcabench -run fig4 ... | your-extraction | vcaplot -in -
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/vcabench/vcabench/internal/report"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "-", "input CSV (label,value), or - for stdin")
+		xlabel = flag.String("x", "value", "x-axis label")
+		title  = flag.String("title", "", "plot title")
+		width  = flag.Int("w", 64, "plot width")
+		height = flag.Int("h", 16, "plot height")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcaplot:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	series := map[string][]float64{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		i := strings.LastIndex(line, ",")
+		if i < 0 {
+			continue
+		}
+		label := strings.TrimSpace(line[:i])
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+		if err != nil {
+			continue // header or junk
+		}
+		if _, ok := series[label]; !ok {
+			order = append(order, label)
+		}
+		series[label] = append(series[label], v)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "vcaplot:", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "vcaplot: no samples found")
+		os.Exit(1)
+	}
+	p := report.CDFPlot{Title: *title, XLabel: *xlabel, Width: *width, Height: *height}
+	for _, label := range order {
+		p.Add(label, series[label])
+	}
+	p.Render(os.Stdout)
+}

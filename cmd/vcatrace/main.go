@@ -1,0 +1,91 @@
+// Command vcatrace inspects pcap captures produced by the harness (or by
+// real tcpdump, for UDP media traffic): per-direction rates, discovered
+// remote endpoints, and Fig-2 style lag extraction between a sender and a
+// receiver capture.
+//
+// Usage:
+//
+//	vcatrace -pcap session.pcap -ip 10.1.2.3
+//	vcatrace -sender host.pcap -senderip 10.1.1.1 -pcap recv.pcap -ip 10.2.2.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/capture"
+)
+
+func load(path, ipStr string) (*capture.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ip capture.IPv4
+	if _, err := fmt.Sscanf(ipStr, "%d.%d.%d.%d", &ip[0], &ip[1], &ip[2], &ip[3]); err != nil {
+		return nil, fmt.Errorf("bad -ip %q: %w", ipStr, err)
+	}
+	tr, skipped, err := capture.ReadPcap(f, path, ip)
+	if err != nil {
+		return nil, err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "vcatrace: skipped %d non-UDP packets in %s\n", skipped, path)
+	}
+	return tr, nil
+}
+
+func main() {
+	var (
+		pcapPath = flag.String("pcap", "", "capture to analyze (receiver side when -sender is given)")
+		ipStr    = flag.String("ip", "", "the capturing host's IPv4 (classifies direction)")
+		sender   = flag.String("sender", "", "optional sender-side capture for lag extraction")
+		senderIP = flag.String("senderip", "", "sender host's IPv4")
+	)
+	flag.Parse()
+	if *pcapPath == "" || *ipStr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tr, err := load(*pcapPath, *ipStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcatrace:", err)
+		os.Exit(1)
+	}
+	from, to := tr.Span()
+	fmt.Printf("%s: %d packets over %v\n", *pcapPath, tr.Len(), to.Sub(from).Round(time.Millisecond))
+	fmt.Printf("  download: %8.0f bps (%d pkts, %d bytes)\n", tr.Rate(capture.In), tr.Packets(capture.In), tr.Bytes(capture.In))
+	fmt.Printf("  upload:   %8.0f bps (%d pkts, %d bytes)\n", tr.Rate(capture.Out), tr.Packets(capture.Out), tr.Bytes(capture.Out))
+	fmt.Println("  remote endpoints (inbound):")
+	for _, ep := range tr.RemoteEndpoints(capture.In) {
+		fmt.Printf("    %s\n", ep)
+	}
+	bursts := capture.Bursts(tr, capture.In, capture.DefaultBurstConfig)
+	fmt.Printf("  inbound bursts (>%dB after >%v quiet): %d\n",
+		capture.DefaultBurstConfig.BigBytes, capture.DefaultBurstConfig.MinQuiet, len(bursts))
+
+	if *sender != "" {
+		if *senderIP == "" {
+			fmt.Fprintln(os.Stderr, "vcatrace: -sender requires -senderip")
+			os.Exit(2)
+		}
+		str, err := load(*sender, *senderIP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcatrace:", err)
+			os.Exit(1)
+		}
+		lags := capture.Lags(str, tr, capture.DefaultBurstConfig, time.Second)
+		if len(lags) == 0 {
+			fmt.Println("  no matching bursts between sender and receiver")
+			return
+		}
+		var sum time.Duration
+		for _, l := range lags {
+			sum += l
+		}
+		fmt.Printf("  streaming lag: %d samples, mean %v\n", len(lags), (sum / time.Duration(len(lags))).Round(100*time.Microsecond))
+	}
+}

@@ -1,0 +1,35 @@
+// Bandwidth reproduces the Fig 17/18 sweep: video QoE and audio MOS as
+// the receiver's downlink is capped with a token-bucket shaper, showing
+// Zoom's cliff, Meet's graceful degradation and Webex's collapse.
+package main
+
+import (
+	"fmt"
+
+	"github.com/vcabench/vcabench"
+	"github.com/vcabench/vcabench/internal/core"
+	"github.com/vcabench/vcabench/internal/geo"
+	"github.com/vcabench/vcabench/internal/media"
+)
+
+func main() {
+	tb := vcabench.NewTestbed(9)
+	sc := vcabench.QuickScale
+	fmt.Printf("high-motion feed, one receiver, downlink caps (scale=%s)\n\n", sc.Name)
+	fmt.Printf("%-9s", "cap")
+	for _, k := range vcabench.Kinds {
+		fmt.Printf("  %6s %6s %6s", k, "freeze", "MOS")
+	}
+	fmt.Println()
+	for _, cap := range core.BandwidthCaps {
+		fmt.Printf("%-9s", core.CapLabel(cap))
+		for _, k := range vcabench.Kinds {
+			video := vcabench.RunQoEStudy(tb, k, geo.USEast, []vcabench.Region{geo.USEast2},
+				media.HighMotion, sc, vcabench.QoEOpts{DownlinkCapBps: cap})
+			audio := vcabench.RunQoEStudy(tb, k, geo.USEast, []vcabench.Region{geo.USEast2},
+				media.LowMotion, sc, vcabench.QoEOpts{DownlinkCapBps: cap, WithAudio: true})
+			fmt.Printf("  %6.1f %5.0f%% %6.2f", video.PSNR.Mean(), video.Freeze.Mean()*100, audio.MOS.Mean())
+		}
+		fmt.Println()
+	}
+}

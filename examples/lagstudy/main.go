@@ -1,0 +1,44 @@
+// Lagstudy reproduces the shape of Figs 6/10: European meetings pay a
+// trans-Atlantic penalty on Zoom and Webex but not on Meet, and Zoom's
+// regional load balancing spreads RTTs into distinct bands.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/vcabench/vcabench"
+	"github.com/vcabench/vcabench/internal/report"
+)
+
+func main() {
+	tb := vcabench.NewTestbed(7)
+	host := vcabench.UKWest
+	fleet := vcabench.EULagFleet(host)
+
+	for _, kind := range vcabench.Kinds {
+		res := vcabench.RunLagStudy(tb, kind, host, fleet, vcabench.QuickScale)
+		plot := report.CDFPlot{
+			Title:  fmt.Sprintf("streaming lag, host UK-West, %s", kind),
+			XLabel: "video lag (ms)",
+			Width:  60, Height: 12,
+		}
+		for _, r := range fleet {
+			plot.Add(r.Name, res.Lags[r.Name].Values())
+		}
+		plot.Render(os.Stdout)
+		fmt.Println()
+
+		// RTT bands: the min..max spread per client reveals regional LB.
+		fmt.Printf("RTT spread per client (%s):\n", kind)
+		for _, r := range fleet {
+			s := res.RTTs[r.Name]
+			if s.Len() == 0 {
+				continue
+			}
+			fmt.Printf("  %-10s %5.0f .. %5.0f ms over %d sessions\n",
+				r.Name, s.Min(), s.Max(), s.Len())
+		}
+		fmt.Println()
+	}
+}

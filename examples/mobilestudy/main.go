@@ -1,0 +1,33 @@
+// Mobilestudy reproduces Fig 19: CPU, data rate and battery for the
+// Galaxy S10 and J3 across the five device/UI scenarios.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/vcabench/vcabench"
+	"github.com/vcabench/vcabench/internal/mobile"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	fmt.Println("Fig 19: mobile resource consumption (5-minute calls)")
+	for _, scn := range mobile.StandardScenarios {
+		fmt.Printf("\n%s:\n", scn.Label)
+		for _, k := range vcabench.Kinds {
+			for _, d := range mobile.Devices {
+				cpu := mobile.CPUSamples(k, d, scn, 100, rng).Summarize()
+				rate := mobile.DataRateMbps(k, d, scn)
+				fmt.Printf("  %-6s %-10s  CPU %3.0f%% [%3.0f-%3.0f]  %5.2f Mbps",
+					k, d.Name, cpu.P50, cpu.P25, cpu.P75, rate)
+				if d.Name == mobile.GalaxyJ3.Name {
+					fmt.Printf("  battery %4.1f mAh/5min (%4.1f%%/h)",
+						mobile.DischargemAh(k, d, scn, 5),
+						mobile.DischargePercent(k, d, scn, 60))
+				}
+				fmt.Println()
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Qoestudy reproduces a slice of Fig 12/15: video QoE and data rates for
+// low- vs high-motion feeds as the session grows, on one platform.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/vcabench/vcabench"
+	"github.com/vcabench/vcabench/internal/core"
+	"github.com/vcabench/vcabench/internal/geo"
+	"github.com/vcabench/vcabench/internal/media"
+	"github.com/vcabench/vcabench/internal/platform"
+)
+
+func main() {
+	kindFlag := flag.String("platform", "meet", "zoom, webex or meet")
+	flag.Parse()
+	kind := platform.Kind(*kindFlag)
+
+	tb := vcabench.NewTestbed(3)
+	fmt.Printf("%s, host US-East, quick scale\n\n", kind)
+	fmt.Printf("%3s  %-11s  %6s  %6s  %6s  %8s  %8s\n",
+		"N", "motion", "PSNR", "SSIM", "VIFp", "up Mbps", "down Mbps")
+	for n := 2; n <= 5; n++ {
+		for _, motion := range []media.MotionClass{media.LowMotion, media.HighMotion} {
+			res := vcabench.RunQoEStudy(tb, kind, geo.USEast,
+				core.QoEReceiverRegions(geo.ZoneUS, n-1), motion,
+				vcabench.QuickScale, vcabench.QoEOpts{})
+			fmt.Printf("%3d  %-11s  %6.2f  %6.4f  %6.4f  %8.2f  %8.2f\n",
+				n, motion, res.PSNR.Mean(), res.SSIM.Mean(), res.VIFP.Mean(),
+				res.UpMbps.Mean(), res.DownMbps.Mean())
+		}
+	}
+}

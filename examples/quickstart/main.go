@@ -1,0 +1,29 @@
+// Quickstart: create a testbed, run one small lag study per platform,
+// and print where each platform relays a US-East-hosted meeting and what
+// lag the participants experience.
+package main
+
+import (
+	"fmt"
+
+	"github.com/vcabench/vcabench"
+)
+
+func main() {
+	tb := vcabench.NewTestbed(1)
+	fleet := vcabench.USLagFleet(vcabench.USEast)
+
+	fmt.Println("US-East-hosted sessions, six participants, quick scale")
+	for _, kind := range vcabench.Kinds {
+		res := vcabench.RunLagStudy(tb, kind, vcabench.USEast, fleet, vcabench.QuickScale)
+		fmt.Printf("\n%s:\n", kind)
+		fmt.Printf("  endpoints over %d sessions: %d (%.1f per session)\n",
+			res.Endpoints.Sessions, res.Endpoints.Total, res.Endpoints.PerSession)
+		for _, region := range fleet {
+			lag := res.Lags[region.Name]
+			rtt := res.RTTs[region.Name]
+			fmt.Printf("  %-12s median lag %6.1f ms   median RTT to endpoint %6.1f ms\n",
+				region.Name, lag.Median(), rtt.Median())
+		}
+	}
+}

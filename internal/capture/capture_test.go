@@ -1,0 +1,392 @@
+package capture
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func mkRecord(at time.Duration, dir Dir, srcPort, dstPort uint16, size int) Record {
+	return Record{
+		Time: t0.Add(at),
+		Dir:  dir,
+		Src:  Endpoint{IP: IPForName("src"), Port: srcPort},
+		Dst:  Endpoint{IP: IPForName("dst"), Port: dstPort},
+		Len:  size,
+	}
+}
+
+func TestIPForName(t *testing.T) {
+	a, b := IPForName("vm-1"), IPForName("vm-2")
+	if a == b {
+		t.Error("distinct names map to same IP")
+	}
+	if a != IPForName("vm-1") {
+		t.Error("IPForName not deterministic")
+	}
+	if a[0] != 10 {
+		t.Errorf("not in 10/8: %v", a)
+	}
+	for _, o := range a[1:] {
+		if o == 0 || o == 255 {
+			t.Errorf("degenerate octet in %v", a)
+		}
+	}
+}
+
+func TestFlowHashSymmetric(t *testing.T) {
+	f := Flow{
+		Src: Endpoint{IP: IPv4{10, 1, 1, 1}, Port: 5004},
+		Dst: Endpoint{IP: IPv4{10, 2, 2, 2}, Port: 8801},
+	}
+	if f.FastHash() != f.Reverse().FastHash() {
+		t.Error("FastHash not symmetric")
+	}
+	other := Flow{
+		Src: Endpoint{IP: IPv4{10, 1, 1, 1}, Port: 5005},
+		Dst: Endpoint{IP: IPv4{10, 2, 2, 2}, Port: 8801},
+	}
+	if f.FastHash() == other.FastHash() {
+		t.Error("distinct flows hash equal (collision in trivial case)")
+	}
+}
+
+func TestTraceRates(t *testing.T) {
+	tr := NewTrace("n")
+	// 10 inbound packets of 1250 bytes over 1 second => 100 kbit/s.
+	for i := 0; i < 10; i++ {
+		tr.Add(mkRecord(time.Duration(i)*111*time.Millisecond, In, 8801, 5004, 1250))
+	}
+	rate := tr.Rate(In)
+	want := float64(10*1250*8) / tr.Records[9].Time.Sub(tr.Records[0].Time).Seconds()
+	if rate != want {
+		t.Errorf("Rate = %v, want %v", rate, want)
+	}
+	if tr.Rate(Out) != 0 {
+		t.Error("no outbound records but nonzero rate")
+	}
+	if tr.Bytes(In) != 12500 || tr.Packets(In) != 10 {
+		t.Error("byte/packet accounting wrong")
+	}
+}
+
+func TestTraceBetweenAndFilter(t *testing.T) {
+	tr := NewTrace("n")
+	for i := 0; i < 10; i++ {
+		tr.Add(mkRecord(time.Duration(i)*time.Second, In, 1, 2, 100+i))
+	}
+	sub := tr.Between(t0.Add(3*time.Second), t0.Add(6*time.Second))
+	if sub.Len() != 3 {
+		t.Errorf("Between len = %d, want 3", sub.Len())
+	}
+	big := tr.Filter(func(r Record) bool { return r.Len >= 105 })
+	if big.Len() != 5 {
+		t.Errorf("Filter len = %d, want 5", big.Len())
+	}
+}
+
+func TestRemoteEndpoints(t *testing.T) {
+	tr := NewTrace("n")
+	ep1 := Endpoint{IP: IPv4{1, 2, 3, 4}, Port: 8801}
+	ep2 := Endpoint{IP: IPv4{5, 6, 7, 8}, Port: 8801}
+	local := Endpoint{IP: IPForName("n"), Port: 5004}
+	tr.Add(Record{Time: t0, Dir: In, Src: ep1, Dst: local, Len: 10})
+	tr.Add(Record{Time: t0.Add(time.Millisecond), Dir: In, Src: ep2, Dst: local, Len: 10})
+	tr.Add(Record{Time: t0.Add(2 * time.Millisecond), Dir: In, Src: ep1, Dst: local, Len: 10})
+	tr.Add(Record{Time: t0.Add(3 * time.Millisecond), Dir: Out, Src: local, Dst: ep1, Len: 10})
+	eps := tr.RemoteEndpoints(In)
+	if len(eps) != 2 || eps[0] != ep1 || eps[1] != ep2 {
+		t.Errorf("RemoteEndpoints = %v", eps)
+	}
+}
+
+func TestRateSeries(t *testing.T) {
+	tr := NewTrace("n")
+	// Second 0: 1000B, second 1: nothing, second 2: 2000B.
+	tr.Add(mkRecord(0, In, 1, 2, 1000))
+	tr.Add(mkRecord(2*time.Second, In, 1, 2, 2000))
+	s := tr.RateSeries(In, time.Second)
+	if len(s) != 3 {
+		t.Fatalf("series len = %d", len(s))
+	}
+	if s[0] != 8000 || s[1] != 0 || s[2] != 16000 {
+		t.Errorf("series = %v", s)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewTrace("a"), NewTrace("b")
+	a.Add(mkRecord(0, In, 1, 2, 10))
+	a.Add(mkRecord(2*time.Second, In, 1, 2, 10))
+	b.Add(mkRecord(time.Second, Out, 3, 4, 20))
+	m := a.Merge(b)
+	if m.Len() != 3 {
+		t.Fatalf("merged len = %d", m.Len())
+	}
+	if !m.Records[1].Time.Equal(t0.Add(time.Second)) {
+		t.Error("merge not time-ordered")
+	}
+}
+
+func TestBurstDetection(t *testing.T) {
+	tr := NewTrace("host")
+	// Keepalives every 100ms (60B), flashes at 2s, 4s, 6s (5 big packets each).
+	for i := 0; i < 80; i++ {
+		tr.Add(mkRecord(time.Duration(i)*100*time.Millisecond, Out, 5004, 8801, 60))
+	}
+	for _, flashAt := range []time.Duration{2 * time.Second, 4 * time.Second, 6 * time.Second} {
+		for k := 0; k < 5; k++ {
+			tr.Add(mkRecord(flashAt+time.Duration(k)*5*time.Millisecond, Out, 5004, 8801, 900))
+		}
+	}
+	// Re-sort by merging with empty (records were appended out of order).
+	tr = tr.Merge(NewTrace("x"))
+	bursts := Bursts(tr, Out, DefaultBurstConfig)
+	if len(bursts) != 3 {
+		t.Fatalf("bursts = %d, want 3 (%v)", len(bursts), bursts)
+	}
+	for i, want := range []time.Duration{2 * time.Second, 4 * time.Second, 6 * time.Second} {
+		if got := bursts[i].Sub(t0); got != want {
+			t.Errorf("burst %d at %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestMatchBursts(t *testing.T) {
+	s := []time.Time{t0, t0.Add(2 * time.Second), t0.Add(4 * time.Second)}
+	r := []time.Time{t0.Add(30 * time.Millisecond), t0.Add(2*time.Second + 40*time.Millisecond), t0.Add(4*time.Second + 50*time.Millisecond)}
+	lags := MatchBursts(s, r, time.Second)
+	if len(lags) != 3 {
+		t.Fatalf("lags = %v", lags)
+	}
+	if lags[0] != 30*time.Millisecond || lags[2] != 50*time.Millisecond {
+		t.Errorf("lags = %v", lags)
+	}
+}
+
+func TestMatchBurstsResync(t *testing.T) {
+	// Second flash lost in transit; a spurious early receiver burst too.
+	s := []time.Time{t0, t0.Add(2 * time.Second), t0.Add(4 * time.Second)}
+	r := []time.Time{
+		t0.Add(-500 * time.Millisecond), // spurious
+		t0.Add(25 * time.Millisecond),
+		// flash at 2s lost
+		t0.Add(4*time.Second + 35*time.Millisecond),
+	}
+	lags := MatchBursts(s, r, time.Second)
+	if len(lags) != 2 {
+		t.Fatalf("lags = %v, want 2 entries", lags)
+	}
+	if lags[0] != 25*time.Millisecond || lags[1] != 35*time.Millisecond {
+		t.Errorf("lags = %v", lags)
+	}
+}
+
+func TestLagsEndToEnd(t *testing.T) {
+	sender, recv := NewTrace("h"), NewTrace("c")
+	lag := 42 * time.Millisecond
+	for i := 0; i < 5; i++ {
+		at := time.Duration(i) * 2 * time.Second
+		sender.Add(mkRecord(at, Out, 5004, 8801, 900))
+		recv.Add(mkRecord(at+lag, In, 8801, 5004, 880))
+	}
+	lags := Lags(sender, recv, DefaultBurstConfig, time.Second)
+	if len(lags) != 5 {
+		t.Fatalf("got %d lags", len(lags))
+	}
+	for _, l := range lags {
+		if l != lag {
+			t.Errorf("lag = %v, want %v", l, lag)
+		}
+	}
+}
+
+func TestDiscoverEndpoints(t *testing.T) {
+	mk := func(ep Endpoint) *Trace {
+		tr := NewTrace("c")
+		info := RTPInfo{SSRC: 7}
+		tr.Add(Record{Time: t0, Dir: In, Src: ep, Dst: Endpoint{IPForName("c"), 5004}, Len: 500, RTP: &info})
+		return tr
+	}
+	// Zoom-like: new endpoint every session.
+	var zoomSessions []*Trace
+	for i := 0; i < 20; i++ {
+		zoomSessions = append(zoomSessions, mk(Endpoint{IPv4{170, 114, 1, byte(i + 1)}, 8801}))
+	}
+	st := DiscoverEndpoints(zoomSessions)
+	if st.Total != 20 || st.PerSession != 1 || st.Sessions != 20 {
+		t.Errorf("zoom-like stats = %+v", st)
+	}
+	// Meet-like: same endpoint every session.
+	var meetSessions []*Trace
+	for i := 0; i < 20; i++ {
+		meetSessions = append(meetSessions, mk(Endpoint{IPv4{142, 250, 1, 1}, 19305}))
+	}
+	st = DiscoverEndpoints(meetSessions)
+	if st.Total != 1 {
+		t.Errorf("meet-like total = %d", st.Total)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	info := &RTPInfo{SSRC: 0xdeadbeef, Seq: 4242, TS: 90000, Marker: true, PT: 96}
+	rec := Record{
+		Time: t0.Add(1234567 * time.Microsecond),
+		Dir:  Out,
+		Src:  Endpoint{IP: IPv4{10, 1, 2, 3}, Port: 5004},
+		Dst:  Endpoint{IP: IPv4{170, 114, 9, 9}, Port: 8801},
+		Len:  777,
+		RTP:  info,
+	}
+	data := EncodeRecord(rec)
+	pkt, err := DecodePacket(rec.Time, data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	back, err := RecordFromPacket(pkt, Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Src != rec.Src || back.Dst != rec.Dst || back.Len != rec.Len {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, rec)
+	}
+	if back.RTP == nil || back.RTP.SSRC != info.SSRC || back.RTP.Seq != info.Seq ||
+		back.RTP.TS != info.TS || !back.RTP.Marker || back.RTP.PT != info.PT {
+		t.Errorf("RTP round trip: %+v", back.RTP)
+	}
+	// Layer stack sanity.
+	wantLayers := []LayerType{LayerTypeEthernet, LayerTypeIPv4, LayerTypeUDP, LayerTypeRTP, LayerTypePayload}
+	got := pkt.Layers()
+	if len(got) != len(wantLayers) {
+		t.Fatalf("layers = %d, want %d", len(got), len(wantLayers))
+	}
+	for i, l := range got {
+		if l.LayerType() != wantLayers[i] {
+			t.Errorf("layer %d = %v, want %v", i, l.LayerType(), wantLayers[i])
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	if _, err := DecodePacket(t0, []byte{1, 2, 3}); err != ErrTruncated {
+		t.Errorf("err = %v", err)
+	}
+	// Valid ethernet but ARP ethertype.
+	data := make([]byte, 20)
+	data[12], data[13] = 0x08, 0x06
+	if _, err := DecodePacket(t0, data); err != ErrNotIPv4 {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIPChecksum(t *testing.T) {
+	rec := mkRecord(0, Out, 1, 2, 64)
+	data := EncodeRecord(rec)
+	ip := data[14:34]
+	// Recomputing over the header including the stored checksum must give
+	// 0xffff-complement consistency: sum of all 16-bit words == 0xffff.
+	var sum uint32
+	for i := 0; i < 20; i += 2 {
+		sum += uint32(ip[i])<<8 | uint32(ip[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	if sum != 0xffff {
+		t.Errorf("IP checksum does not verify: %#x", sum)
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	tr := NewTrace("vm")
+	local := IPForName("vm")
+	remote := IPv4{66, 114, 1, 1}
+	for i := 0; i < 50; i++ {
+		dir := In
+		src := Endpoint{remote, 9000}
+		dst := Endpoint{local, 5004}
+		if i%2 == 1 {
+			dir = Out
+			src, dst = dst, src
+		}
+		info := &RTPInfo{SSRC: 1, Seq: uint16(i), TS: uint32(i * 3000), PT: 96}
+		tr.Add(Record{
+			Time: t0.Add(time.Duration(i) * 20 * time.Millisecond),
+			Dir:  dir, Src: src, Dst: dst, Len: 800 + i, RTP: info,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, skipped, err := ReadPcap(&buf, "vm", local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d", skipped)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("len %d vs %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Records {
+		a, b := tr.Records[i], back.Records[i]
+		if !a.Time.Equal(b.Time) || a.Dir != b.Dir || a.Src != b.Src || a.Dst != b.Dst || a.Len != b.Len {
+			t.Fatalf("record %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+		if b.RTP == nil || b.RTP.Seq != a.RTP.Seq {
+			t.Fatalf("record %d RTP mismatch", i)
+		}
+	}
+}
+
+func TestReadPcapBadMagic(t *testing.T) {
+	if _, _, err := ReadPcap(bytes.NewReader(make([]byte, 24)), "n", IPv4{}); err != ErrBadMagic {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary record shapes.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(srcIP, dstIP [4]byte, srcPort, dstPort uint16, size uint16, seq uint16, ssrc uint32, marker bool) bool {
+		rec := Record{
+			Time: t0,
+			Src:  Endpoint{IPv4(srcIP), srcPort},
+			Dst:  Endpoint{IPv4(dstIP), dstPort},
+			Len:  int(size % 1500),
+			RTP:  &RTPInfo{SSRC: ssrc, Seq: seq, Marker: marker, PT: 96},
+		}
+		data := EncodeRecord(rec)
+		pkt, err := DecodePacket(t0, data)
+		if err != nil {
+			return false
+		}
+		back, err := RecordFromPacket(pkt, In)
+		if err != nil {
+			return false
+		}
+		wantLen := rec.Len
+		if wantLen < 12 {
+			wantLen = 12 // RTP header floor
+		}
+		return back.Src == rec.Src && back.Dst == rec.Dst && back.Len == wantLen &&
+			back.RTP != nil && back.RTP.Seq == seq && back.RTP.SSRC == ssrc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeSeries(t *testing.T) {
+	tr := NewTrace("n")
+	tr.Add(mkRecord(0, Out, 1, 2, 100))
+	tr.Add(mkRecord(time.Second, Out, 1, 2, 900))
+	tr.Add(mkRecord(2*time.Second, In, 2, 1, 50))
+	times, sizes := SizeSeries(tr, Out)
+	if len(times) != 2 || sizes[1] != 900 || times[1] != time.Second {
+		t.Errorf("series: %v %v", times, sizes)
+	}
+}

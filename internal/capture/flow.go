@@ -1,0 +1,74 @@
+// Package capture is the traffic-monitoring substrate: in-memory packet
+// traces (what tcpdump gave the paper), a gopacket-inspired layer decoding
+// model, libpcap-format file I/O with fully synthesized Ethernet/IPv4/UDP/
+// RTP bytes, and the trace analytics the paper's measurements are built on
+// (L7 data rates, endpoint discovery, and the Fig-2 "first big packet
+// after a quiescent period" lag extractor).
+package capture
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// IPv4 is a four-byte address. Simulated nodes get deterministic addresses
+// from IPForName; platform models may assign their own ranges.
+type IPv4 [4]byte
+
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// IPForName deterministically maps a node name into the 10.0.0.0/8 range,
+// avoiding .0 and .255 host bytes.
+func IPForName(name string) IPv4 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	v := h.Sum32()
+	b := func(x uint32) byte { return byte(x%253 + 1) }
+	return IPv4{10, b(v), b(v >> 8), b(v >> 16)}
+}
+
+// Endpoint is one side of a UDP conversation.
+type Endpoint struct {
+	IP   IPv4
+	Port uint16
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.IP, e.Port) }
+
+// Flow is a directed (src, dst) endpoint pair.
+type Flow struct {
+	Src, Dst Endpoint
+}
+
+func (f Flow) String() string { return f.Src.String() + "->" + f.Dst.String() }
+
+// Reverse returns the opposite direction of the flow.
+func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src} }
+
+// FastHash returns a symmetric non-cryptographic hash: a flow and its
+// reverse hash identically, so bidirectional conversations can be grouped
+// (the property gopacket documents for load-balancing across workers).
+func (f Flow) FastHash() uint64 {
+	a := endpointHash(f.Src)
+	b := endpointHash(f.Dst)
+	if a > b {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(a >> (8 * i))
+		buf[8+i] = byte(b >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+func endpointHash(e Endpoint) uint64 {
+	h := fnv.New64a()
+	h.Write(e.IP[:])
+	h.Write([]byte{byte(e.Port >> 8), byte(e.Port)})
+	return h.Sum64()
+}

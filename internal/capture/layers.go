@@ -1,0 +1,333 @@
+package capture
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// LayerType identifies a protocol layer within a decoded packet.
+type LayerType int
+
+const (
+	LayerTypeEthernet LayerType = iota + 1
+	LayerTypeIPv4
+	LayerTypeUDP
+	LayerTypeRTP
+	LayerTypePayload
+)
+
+func (lt LayerType) String() string {
+	switch lt {
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypeRTP:
+		return "RTP"
+	case LayerTypePayload:
+		return "Payload"
+	}
+	return fmt.Sprintf("LayerType(%d)", int(lt))
+}
+
+// Layer is one decoded protocol layer, following the gopacket shape:
+// contents are the layer's own header bytes, payload is everything after.
+type Layer interface {
+	LayerType() LayerType
+	LayerContents() []byte
+	LayerPayload() []byte
+}
+
+// EthernetLayer is a minimal Ethernet II header.
+type EthernetLayer struct {
+	SrcMAC, DstMAC [6]byte
+	EtherType      uint16
+	contents       []byte
+	payload        []byte
+}
+
+func (l *EthernetLayer) LayerType() LayerType  { return LayerTypeEthernet }
+func (l *EthernetLayer) LayerContents() []byte { return l.contents }
+func (l *EthernetLayer) LayerPayload() []byte  { return l.payload }
+
+// IPv4Layer is an IPv4 header without options.
+type IPv4Layer struct {
+	Src, Dst IPv4
+	Protocol uint8
+	TTL      uint8
+	Length   uint16 // total length
+	ID       uint16
+	Checksum uint16
+	contents []byte
+	payload  []byte
+}
+
+func (l *IPv4Layer) LayerType() LayerType  { return LayerTypeIPv4 }
+func (l *IPv4Layer) LayerContents() []byte { return l.contents }
+func (l *IPv4Layer) LayerPayload() []byte  { return l.payload }
+
+// Flow returns the network-layer flow (ports zero).
+func (l *IPv4Layer) Flow() Flow {
+	return Flow{Src: Endpoint{IP: l.Src}, Dst: Endpoint{IP: l.Dst}}
+}
+
+// UDPLayer is a UDP header.
+type UDPLayer struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // header + payload
+	contents         []byte
+	payload          []byte
+}
+
+func (l *UDPLayer) LayerType() LayerType  { return LayerTypeUDP }
+func (l *UDPLayer) LayerContents() []byte { return l.contents }
+func (l *UDPLayer) LayerPayload() []byte  { return l.payload }
+
+// RTPLayer is a fixed RTP header (RFC 3550, no CSRC, no extension).
+type RTPLayer struct {
+	Version  uint8
+	Padding  bool
+	Marker   bool
+	PT       uint8
+	Seq      uint16
+	TS       uint32
+	SSRC     uint32
+	contents []byte
+	payload  []byte
+}
+
+func (l *RTPLayer) LayerType() LayerType  { return LayerTypeRTP }
+func (l *RTPLayer) LayerContents() []byte { return l.contents }
+func (l *RTPLayer) LayerPayload() []byte  { return l.payload }
+
+// Info converts the layer to trace metadata.
+func (l *RTPLayer) Info() RTPInfo {
+	return RTPInfo{SSRC: l.SSRC, Seq: l.Seq, TS: l.TS, Marker: l.Marker, PT: l.PT}
+}
+
+// PayloadLayer holds undecoded application bytes.
+type PayloadLayer struct{ Data []byte }
+
+func (l *PayloadLayer) LayerType() LayerType  { return LayerTypePayload }
+func (l *PayloadLayer) LayerContents() []byte { return l.Data }
+func (l *PayloadLayer) LayerPayload() []byte  { return nil }
+
+// Packet is a decoded packet: raw bytes plus its layer stack.
+type Packet struct {
+	Timestamp time.Time
+	data      []byte
+	layers    []Layer
+}
+
+// Data returns the raw packet bytes.
+func (p *Packet) Data() []byte { return p.data }
+
+// Layers returns the decoded layer stack, outermost first.
+func (p *Packet) Layers() []Layer { return p.layers }
+
+// Layer returns the first layer of the given type, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// Decoding errors.
+var (
+	ErrTruncated = errors.New("capture: truncated packet")
+	ErrNotIPv4   = errors.New("capture: not an IPv4 packet")
+	ErrNotUDP    = errors.New("capture: not a UDP packet")
+	errBadRTP    = errors.New("capture: not an RTP packet")
+)
+
+const (
+	etherTypeIPv4 = 0x0800
+	protoUDP      = 17
+	ethHeaderLen  = 14
+	ipHeaderLen   = 20
+	udpHeaderLen  = 8
+	rtpHeaderLen  = 12
+)
+
+// DecodePacket decodes Ethernet/IPv4/UDP and, if the UDP payload looks
+// like RTP (version 2, at least 12 bytes), an RTP layer; any remaining
+// bytes become a PayloadLayer. Like gopacket, decoding stops gracefully
+// at the first layer it cannot parse, returning what it has plus an error.
+func DecodePacket(ts time.Time, data []byte) (*Packet, error) {
+	p := &Packet{Timestamp: ts, data: data}
+	// Ethernet.
+	if len(data) < ethHeaderLen {
+		return p, ErrTruncated
+	}
+	eth := &EthernetLayer{
+		EtherType: binary.BigEndian.Uint16(data[12:14]),
+		contents:  data[:ethHeaderLen],
+		payload:   data[ethHeaderLen:],
+	}
+	copy(eth.DstMAC[:], data[0:6])
+	copy(eth.SrcMAC[:], data[6:12])
+	p.layers = append(p.layers, eth)
+	if eth.EtherType != etherTypeIPv4 {
+		return p, ErrNotIPv4
+	}
+	// IPv4 (no options in our synthesized traffic, but honor IHL).
+	b := eth.payload
+	if len(b) < ipHeaderLen {
+		return p, ErrTruncated
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if b[0]>>4 != 4 || ihl < ipHeaderLen || len(b) < ihl {
+		return p, ErrNotIPv4
+	}
+	ip := &IPv4Layer{
+		Protocol: b[9],
+		TTL:      b[8],
+		Length:   binary.BigEndian.Uint16(b[2:4]),
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		Checksum: binary.BigEndian.Uint16(b[10:12]),
+		contents: b[:ihl],
+		payload:  b[ihl:],
+	}
+	copy(ip.Src[:], b[12:16])
+	copy(ip.Dst[:], b[16:20])
+	p.layers = append(p.layers, ip)
+	if ip.Protocol != protoUDP {
+		return p, ErrNotUDP
+	}
+	// UDP.
+	b = ip.payload
+	if len(b) < udpHeaderLen {
+		return p, ErrTruncated
+	}
+	udp := &UDPLayer{
+		SrcPort:  binary.BigEndian.Uint16(b[0:2]),
+		DstPort:  binary.BigEndian.Uint16(b[2:4]),
+		Length:   binary.BigEndian.Uint16(b[4:6]),
+		contents: b[:udpHeaderLen],
+		payload:  b[udpHeaderLen:],
+	}
+	p.layers = append(p.layers, udp)
+	// RTP heuristic.
+	b = udp.payload
+	if rtp, err := decodeRTP(b); err == nil {
+		p.layers = append(p.layers, rtp)
+		if len(rtp.payload) > 0 {
+			p.layers = append(p.layers, &PayloadLayer{Data: rtp.payload})
+		}
+		return p, nil
+	}
+	if len(b) > 0 {
+		p.layers = append(p.layers, &PayloadLayer{Data: b})
+	}
+	return p, nil
+}
+
+func decodeRTP(b []byte) (*RTPLayer, error) {
+	if len(b) < rtpHeaderLen || b[0]>>6 != 2 {
+		return nil, errBadRTP
+	}
+	return &RTPLayer{
+		Version:  b[0] >> 6,
+		Padding:  b[0]&0x20 != 0,
+		Marker:   b[1]&0x80 != 0,
+		PT:       b[1] & 0x7f,
+		Seq:      binary.BigEndian.Uint16(b[2:4]),
+		TS:       binary.BigEndian.Uint32(b[4:8]),
+		SSRC:     binary.BigEndian.Uint32(b[8:12]),
+		contents: b[:rtpHeaderLen],
+		payload:  b[rtpHeaderLen:],
+	}, nil
+}
+
+// EncodeRecord synthesizes full Ethernet/IPv4/UDP(/RTP) wire bytes for a
+// trace record, suitable for writing to a pcap file. The UDP payload is
+// Len bytes: an RTP header (when metadata is present) followed by zero
+// padding standing in for the encrypted media the paper could not inspect
+// either.
+func EncodeRecord(r Record) []byte {
+	l7 := r.Len
+	if r.RTP != nil && l7 < rtpHeaderLen {
+		l7 = rtpHeaderLen
+	}
+	total := ethHeaderLen + ipHeaderLen + udpHeaderLen + l7
+	buf := make([]byte, total)
+	// Ethernet: derive stable MACs from the IPs.
+	copy(buf[0:6], macFor(r.Dst.IP))
+	copy(buf[6:12], macFor(r.Src.IP))
+	binary.BigEndian.PutUint16(buf[12:14], etherTypeIPv4)
+	// IPv4.
+	ip := buf[ethHeaderLen:]
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipHeaderLen+udpHeaderLen+l7))
+	ip[8] = 64
+	ip[9] = protoUDP
+	copy(ip[12:16], r.Src.IP[:])
+	copy(ip[16:20], r.Dst.IP[:])
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:ipHeaderLen]))
+	// UDP.
+	udp := ip[ipHeaderLen:]
+	binary.BigEndian.PutUint16(udp[0:2], r.Src.Port)
+	binary.BigEndian.PutUint16(udp[2:4], r.Dst.Port)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(udpHeaderLen+l7))
+	// RTP.
+	if r.RTP != nil {
+		rtp := udp[udpHeaderLen:]
+		rtp[0] = 2 << 6
+		rtp[1] = r.RTP.PT & 0x7f
+		if r.RTP.Marker {
+			rtp[1] |= 0x80
+		}
+		binary.BigEndian.PutUint16(rtp[2:4], r.RTP.Seq)
+		binary.BigEndian.PutUint32(rtp[4:8], r.RTP.TS)
+		binary.BigEndian.PutUint32(rtp[8:12], r.RTP.SSRC)
+	}
+	return buf
+}
+
+func macFor(ip IPv4) []byte {
+	return []byte{0x02, 0x00, ip[0], ip[1], ip[2], ip[3]}
+}
+
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// RecordFromPacket converts a decoded packet back into a trace record.
+// Direction is supplied by the caller (pcap files do not store it; the
+// reader infers it from the capturing node's address when known).
+func RecordFromPacket(p *Packet, dir Dir) (Record, error) {
+	ipl, _ := p.Layer(LayerTypeIPv4).(*IPv4Layer)
+	udpl, _ := p.Layer(LayerTypeUDP).(*UDPLayer)
+	if ipl == nil || udpl == nil {
+		return Record{}, ErrNotUDP
+	}
+	r := Record{
+		Time: p.Timestamp,
+		Dir:  dir,
+		Src:  Endpoint{IP: ipl.Src, Port: udpl.SrcPort},
+		Dst:  Endpoint{IP: ipl.Dst, Port: udpl.DstPort},
+		Len:  int(udpl.Length) - udpHeaderLen,
+	}
+	if rtpl, ok := p.Layer(LayerTypeRTP).(*RTPLayer); ok {
+		info := rtpl.Info()
+		r.RTP = &info
+	}
+	return r, nil
+}

@@ -1,0 +1,294 @@
+package client
+
+import (
+	"time"
+
+	"github.com/vcabench/vcabench/internal/capture"
+	"github.com/vcabench/vcabench/internal/codec"
+	"github.com/vcabench/vcabench/internal/geo"
+	"github.com/vcabench/vcabench/internal/media"
+	"github.com/vcabench/vcabench/internal/platform"
+	"github.com/vcabench/vcabench/internal/rtp"
+	"github.com/vcabench/vcabench/internal/simnet"
+)
+
+// MediaPort is the client's local media port.
+const MediaPort = 5004
+
+// Config describes one emulated client.
+type Config struct {
+	Name   string
+	Region geo.Region
+	// Access link; zero values mean an unconstrained cloud VM.
+	UplinkBps, DownlinkBps int64
+	QueueBytes             int
+	LossProb               float64
+	// Media generation (senders).
+	SendVideo   bool
+	VideoSource media.Source // explicit source; wins over VideoClass
+	VideoClass  media.MotionClass
+	Profile     media.Profile // zero => media.QuickProfile
+	SendAudio   bool
+	AudioClip   *media.AudioClip // required when SendAudio
+	Seed        int64
+	// Resolve maps remote node names to IPs for the traffic monitor.
+	Resolve Resolver
+}
+
+// Client is one emulated participant: node + feeder + monitor +
+// controller + recorder.
+type Client struct {
+	cfg  Config
+	sim  *simnet.Sim
+	node *simnet.Node
+
+	Monitor    *Monitor
+	Controller *Controller
+
+	att    *platform.Attachment
+	enc    *codec.VideoEncoder
+	pktzr  *rtp.Packetizer
+	src    media.Source
+	reasm  *rtp.Reassembler
+	sent   []codec.EncodedFrame
+	sentAu []codec.AudioFrame
+	gotVid map[int]*codec.EncodedFrame
+	gotAu  map[int]*codec.AudioFrame
+
+	feedEv, audEv, kaEv, repEv *simnet.Event
+
+	// Feedback accounting (per reporting interval).
+	recvBytes   int64
+	prevPackets int
+	prevGaps    int
+	running     bool
+}
+
+// New creates a client and its network node.
+func New(net *simnet.Network, cfg Config) *Client {
+	if cfg.Profile.W == 0 {
+		cfg.Profile = media.QuickProfile
+	}
+	node := net.AddNode(simnet.NodeConfig{
+		Name: cfg.Name, Region: cfg.Region,
+		UplinkBps: cfg.UplinkBps, DownlinkBps: cfg.DownlinkBps,
+		QueueBytes: cfg.QueueBytes, LossProb: cfg.LossProb,
+	})
+	c := &Client{
+		cfg:    cfg,
+		sim:    net.Sim(),
+		node:   node,
+		reasm:  rtp.NewReassembler(5),
+		gotVid: make(map[int]*codec.EncodedFrame),
+		gotAu:  make(map[int]*codec.AudioFrame),
+	}
+	c.Monitor = NewMonitor(node, cfg.Resolve)
+	c.Controller = NewController(net.Sim())
+	return c
+}
+
+// Node returns the client's network node.
+func (c *Client) Node() *simnet.Node { return c.node }
+
+// Name returns the client's node name.
+func (c *Client) Name() string { return c.cfg.Name }
+
+// Join attaches the client to a session (the meeting-join UI step's
+// network effect). Must be called before the session starts.
+func (c *Client) Join(s *platform.Session) *platform.Attachment {
+	c.att = s.Join(c.node, platform.JoinOpts{Port: MediaPort, OnPacket: c.onPacket})
+	return c.att
+}
+
+// Attachment returns the session handle (nil before Join).
+func (c *Client) Attachment() *platform.Attachment { return c.att }
+
+// Start begins media flow and periodic reporting. Call after the session
+// has started.
+func (c *Client) Start() {
+	if c.att == nil {
+		panic("client: Start before Join")
+	}
+	if c.running {
+		panic("client: double Start")
+	}
+	c.running = true
+
+	if c.cfg.SendVideo {
+		c.src = c.cfg.VideoSource
+		if c.src == nil {
+			c.src = media.NewSource(c.cfg.VideoClass, c.cfg.Profile, c.cfg.Seed)
+		}
+		c.enc = codec.NewVideoEncoder(codec.VideoEncoderConfig{
+			FPS:       c.src.FPS(),
+			TargetBps: c.att.Target(),
+			BitScale:  codec.BitScaleFor(c.cfg.Profile),
+			Seed:      c.cfg.Seed + 1,
+		})
+		c.att.OnTarget(func(bps float64) { c.enc.SetTargetBps(bps) })
+		c.pktzr = rtp.NewPacketizer(uint32(c.cfg.Seed)+1000, rtp.DefaultMTU, c.src.FPS())
+		interval := time.Second / time.Duration(c.src.FPS())
+		c.feedEv = c.sim.Every(interval, c.feedVideoFrame)
+	}
+	if c.cfg.SendAudio {
+		if c.cfg.AudioClip == nil {
+			panic("client: SendAudio without AudioClip")
+		}
+		aenc := codec.NewAudioEncoder(c.att.Session().AudioBps())
+		c.sentAu = aenc.Encode(c.cfg.AudioClip)
+		if c.pktzr == nil {
+			c.pktzr = rtp.NewPacketizer(uint32(c.cfg.Seed)+1000, rtp.DefaultMTU, 30)
+		}
+		i := 0
+		c.audEv = c.sim.Every(time.Duration(codec.AudioFrameDur*float64(time.Second)), func() {
+			if i >= len(c.sentAu) {
+				c.audEv.Cancel()
+				return
+			}
+			pkt := c.pktzr.Audio(&c.sentAu[i])
+			c.att.Send(pkt.Bytes, pkt)
+			i++
+		})
+	}
+	// Control-plane keepalives: small packets that keep the session's
+	// traffic pattern realistic (and give lag probes their quiescent
+	// background, as in paper Fig 2).
+	c.kaEv = c.sim.Every(500*time.Millisecond, func() {
+		c.att.Send(60, "keepalive")
+	})
+	// Receiver feedback at 1 Hz.
+	c.repEv = c.sim.Every(time.Second, c.reportStats)
+}
+
+// feedVideoFrame encodes and transmits one frame tick.
+func (c *Client) feedVideoFrame() {
+	f := c.src.Next()
+	ef := c.enc.Encode(f)
+	c.sent = append(c.sent, ef)
+	for _, pkt := range c.pktzr.Video(&c.sent[len(c.sent)-1]) {
+		c.att.Send(pkt.Bytes, pkt)
+	}
+}
+
+// onPacket handles media delivered by the platform.
+func (c *Client) onPacket(pkt *simnet.Packet) {
+	rp, ok := pkt.Payload.(*rtp.Packet)
+	if !ok {
+		return // keepalives and other control traffic
+	}
+	c.recvBytes += int64(pkt.Size)
+	vids, au := c.reasm.Push(rp)
+	for _, ef := range vids {
+		c.gotVid[ef.Seq] = ef
+	}
+	if au != nil {
+		c.gotAu[au.Seq] = au
+	}
+}
+
+// reportStats sends one feedback interval to the platform.
+func (c *Client) reportStats() {
+	st := c.reasm.StatsSnapshot()
+	dPkts := st.Packets - c.prevPackets
+	dGaps := st.PacketGaps - c.prevGaps
+	c.prevPackets = st.Packets
+	c.prevGaps = st.PacketGaps
+	goodput := float64(c.recvBytes) * 8
+	c.recvBytes = 0
+	if dPkts+dGaps == 0 {
+		return // nothing received; nothing to report
+	}
+	loss := float64(dGaps) / float64(dPkts+dGaps)
+	c.att.ReportReceiverStats(loss, goodput)
+}
+
+// Stop halts media flow and reporting and closes the media socket, so
+// packets still in flight when the client leaves are dropped at the node
+// instead of leaking into a later session's receive path.
+func (c *Client) Stop() {
+	for _, ev := range []*simnet.Event{c.feedEv, c.audEv, c.kaEv, c.repEv} {
+		if ev != nil {
+			ev.Cancel()
+		}
+	}
+	c.node.Unbind(MediaPort)
+	c.running = false
+}
+
+// Reset clears per-session media state so the client (and its node, with
+// the accumulated capture) can join the next session, as the paper's VMs
+// do across their 20-session campaigns. The traffic trace is preserved.
+func (c *Client) Reset() {
+	if c.running {
+		panic("client: Reset while running")
+	}
+	c.reasm = rtp.NewReassembler(5)
+	c.gotVid = make(map[int]*codec.EncodedFrame)
+	c.gotAu = make(map[int]*codec.AudioFrame)
+	c.sent = nil
+	c.sentAu = nil
+	c.recvBytes = 0
+	c.prevPackets = 0
+	c.prevGaps = 0
+	c.att = nil
+}
+
+// SentVideo returns the sender-side encoded-frame log.
+func (c *Client) SentVideo() []codec.EncodedFrame { return c.sent }
+
+// SentAudio returns the sender-side audio-frame log.
+func (c *Client) SentAudio() []codec.AudioFrame { return c.sentAu }
+
+// ReceivedVideo returns frames that arrived complete, by sender frame seq.
+func (c *Client) ReceivedVideo() map[int]*codec.EncodedFrame { return c.gotVid }
+
+// ReceiveStats returns the reassembler's counters.
+func (c *Client) ReceiveStats() rtp.Stats { return c.reasm.StatsSnapshot() }
+
+// Trace returns the client's packet capture.
+func (c *Client) Trace() *capture.Trace { return c.Monitor.Trace() }
+
+// Recording is the desktop-recorder output for one received stream.
+type Recording struct {
+	Ref       []*media.Frame // injected source frames (per display slot)
+	Displayed []*media.Frame // what the viewer saw (nil = nothing yet)
+	Audio     *media.AudioClip
+	RefAudio  *media.AudioClip
+}
+
+// Record builds the recording against the sender's ground-truth logs:
+// per display slot, the viewer sees the decoded frame if it arrived
+// complete, a freeze if the encoder skipped, or a loss-freeze otherwise.
+func (c *Client) Record(sender *Client) Recording {
+	var rec Recording
+	dec := codec.NewVideoDecoder()
+	sent := sender.SentVideo()
+	for i := range sent {
+		ef := &sent[i]
+		rec.Ref = append(rec.Ref, ef.Source)
+		var out *media.Frame
+		switch {
+		case ef.Skipped:
+			out = dec.Decode(ef) // sender stalled: freeze, chain intact
+		case c.gotVid[ef.Seq] != nil:
+			out = dec.Decode(c.gotVid[ef.Seq])
+		default:
+			out = dec.Decode(nil) // network loss
+		}
+		rec.Displayed = append(rec.Displayed, out)
+	}
+	if len(sender.sentAu) > 0 {
+		ptrs := make([]*codec.AudioFrame, len(sender.sentAu))
+		for i := range sender.sentAu {
+			if af := c.gotAu[sender.sentAu[i].Seq]; af != nil {
+				ptrs[i] = af
+			}
+		}
+		adec := codec.NewAudioDecoder(c.cfg.Seed + 7)
+		rate := sender.cfg.AudioClip.Rate
+		bps := sender.att.Session().AudioBps()
+		rec.Audio = adec.Decode(ptrs, rate, bps)
+		rec.RefAudio = sender.cfg.AudioClip
+	}
+	return rec
+}

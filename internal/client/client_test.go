@@ -1,0 +1,284 @@
+package client
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/capture"
+	"github.com/vcabench/vcabench/internal/geo"
+	"github.com/vcabench/vcabench/internal/media"
+	"github.com/vcabench/vcabench/internal/platform"
+	"github.com/vcabench/vcabench/internal/qoe"
+	"github.com/vcabench/vcabench/internal/simnet"
+)
+
+func testbed(seed int64) (*simnet.Sim, *simnet.Network) {
+	s := simnet.NewSim(seed)
+	return s, simnet.NewNetwork(s, simnet.NetworkConfig{})
+}
+
+// runSession wires a host sender and receivers through a platform and
+// runs the session for dur, returning the participants.
+func runSession(t *testing.T, kind platform.Kind, seed int64, dur time.Duration,
+	hostCfg Config, recvCfgs []Config) (*simnet.Sim, *Client, []*Client) {
+	t.Helper()
+	sim, net := testbed(seed)
+	p := platform.New(kind, net)
+	resolve := func(n string) (capture.IPv4, bool) { return p.Resolve(n) }
+	hostCfg.Resolve = resolve
+	host := New(net, hostCfg)
+	var recvs []*Client
+	s := p.CreateSession()
+	host.Join(s)
+	for _, rc := range recvCfgs {
+		rc.Resolve = resolve
+		r := New(net, rc)
+		r.Join(s)
+		recvs = append(recvs, r)
+	}
+	s.Start()
+	host.Start()
+	for _, r := range recvs {
+		r.Start()
+	}
+	sim.RunFor(dur)
+	host.Stop()
+	for _, r := range recvs {
+		r.Stop()
+	}
+	s.End()
+	return sim, host, recvs
+}
+
+func TestEndToEndVideoSession(t *testing.T) {
+	host := Config{
+		Name: "e2e-host", Region: geo.USEast,
+		SendVideo: true, VideoClass: media.LowMotion, Seed: 1,
+	}
+	recv := Config{Name: "e2e-recv", Region: geo.USWest, Seed: 2}
+	_, h, rs := runSession(t, platform.Webex, 1, 10*time.Second, host, []Config{recv})
+	r := rs[0]
+
+	sent := h.SentVideo()
+	if len(sent) < 90 {
+		t.Fatalf("sent %d frames in 10s at 10fps, want ~100", len(sent))
+	}
+	if got := len(r.ReceivedVideo()); got < len(sent)*8/10 {
+		t.Errorf("received only %d/%d frames", got, len(sent))
+	}
+	// Traces: host uploads, receiver downloads, at a plausible rate.
+	up := h.Trace().Rate(capture.Out)
+	down := r.Trace().Rate(capture.In)
+	if up < 500_000 || up > 4_000_000 {
+		t.Errorf("host upload rate = %.0f", up)
+	}
+	if down < 500_000 || down > 4_000_000 {
+		t.Errorf("receiver download rate = %.0f", down)
+	}
+	// QoE of the recording is sane.
+	rec := r.Record(h)
+	res := qoe.CompareVideo(rec.Ref, rec.Displayed, 5)
+	if res.PSNR < 20 || res.PSNR > 50 {
+		t.Errorf("PSNR = %v", res.PSNR)
+	}
+	if res.SSIM < 0.5 {
+		t.Errorf("SSIM = %v", res.SSIM)
+	}
+}
+
+func TestEndToEndAudio(t *testing.T) {
+	clip := media.NewSpeech(8, 3)
+	host := Config{
+		Name: "au-host", Region: geo.USEast,
+		SendAudio: true, AudioClip: clip, Seed: 3,
+	}
+	recv := Config{Name: "au-recv", Region: geo.USCentral, Seed: 4}
+	_, h, rs := runSession(t, platform.Zoom, 2, 10*time.Second, host, []Config{recv})
+	rec := rs[0].Record(h)
+	if rec.Audio == nil {
+		t.Fatal("no audio recording")
+	}
+	mos := qoe.MOSLQO(rec.RefAudio, rec.Audio)
+	if mos < 3.5 {
+		t.Errorf("clean-network audio MOS = %v", mos)
+	}
+}
+
+func TestZoomP2PTwoParty(t *testing.T) {
+	host := Config{
+		Name: "p2p-a", Region: geo.USEast,
+		SendVideo: true, VideoClass: media.LowMotion, Seed: 5,
+	}
+	recv := Config{Name: "p2p-b", Region: geo.USEast2, Seed: 6}
+	_, h, rs := runSession(t, platform.Zoom, 3, 8*time.Second, host, []Config{recv})
+	// P2P target is ~1 Mbps vs ~0.7 relay.
+	if tgt := h.Attachment().Target(); tgt < 900_000 {
+		t.Errorf("p2p target = %v", tgt)
+	}
+	// The receiver's remote endpoint is the peer itself, not a relay.
+	eps := rs[0].Trace().RemoteEndpoints(capture.In)
+	if len(eps) != 1 {
+		t.Fatalf("remote endpoints = %v", eps)
+	}
+	if eps[0].IP != capture.IPForName("p2p-a") {
+		t.Errorf("p2p remote = %v, want peer's IP", eps[0])
+	}
+}
+
+func TestReceiverFeedbackDrivesAdaptation(t *testing.T) {
+	// Cap the receiver's downlink at 250 kbps; Meet must adapt its
+	// ~500 kbps multi-party target downward.
+	host := Config{
+		Name: "ad-host", Region: geo.USEast,
+		SendVideo: true, VideoClass: media.HighMotion, Seed: 7,
+	}
+	recvs := []Config{
+		{Name: "ad-r1", Region: geo.USWest, DownlinkBps: 250_000, QueueBytes: 32 * 1024, Seed: 8},
+		{Name: "ad-r2", Region: geo.USCentral, Seed: 9},
+	}
+	_, h, _ := runSession(t, platform.Meet, 4, 15*time.Second, host, recvs)
+	final := h.Attachment().Target()
+	if final > 400_000 {
+		t.Errorf("Meet did not adapt under a 250k cap: target %v", final)
+	}
+}
+
+func TestRecordingUnderLoss(t *testing.T) {
+	host := Config{
+		Name: "ls-host", Region: geo.USEast,
+		SendVideo: true, VideoClass: media.HighMotion, Seed: 10,
+	}
+	recv := Config{Name: "ls-recv", Region: geo.USWest, LossProb: 0.08, Seed: 11}
+	_, h, rs := runSession(t, platform.Webex, 5, 10*time.Second, host, []Config{recv})
+	rec := rs[0].Record(h)
+	res := qoe.CompareVideo(rec.Ref, rec.Displayed, 5)
+	if res.FreezeRatio == 0 {
+		t.Error("8% loss should cause freezes")
+	}
+	// Compare with the clean receiver path of the same content.
+	host2 := Config{
+		Name: "ls-host2", Region: geo.USEast,
+		SendVideo: true, VideoClass: media.HighMotion, Seed: 10,
+	}
+	recv2 := Config{Name: "ls-recv2", Region: geo.USWest, Seed: 11}
+	_, h2, rs2 := runSession(t, platform.Webex, 5, 10*time.Second, host2, []Config{recv2})
+	clean := qoe.CompareVideo(rs2[0].Record(h2).Ref, rs2[0].Record(h2).Displayed, 5)
+	if res.SSIM >= clean.SSIM {
+		t.Errorf("lossy SSIM %v >= clean SSIM %v", res.SSIM, clean.SSIM)
+	}
+}
+
+func TestControllerWorkflow(t *testing.T) {
+	sim, _ := testbed(1)
+	ctl := NewController(sim)
+	if ctl.State() != StateIdle {
+		t.Fatal("initial state")
+	}
+	joined := false
+	ctl.ScriptJoin(func() { joined = true })
+	sim.RunFor(10 * time.Second)
+	if !joined || ctl.State() != StateInMeeting {
+		t.Fatalf("after join: %v joined=%v", ctl.State(), joined)
+	}
+	left := false
+	ctl.ScriptLeave(func() { left = true })
+	sim.RunFor(5 * time.Second)
+	if !left || ctl.State() != StateLeft {
+		t.Fatalf("after leave: %v", ctl.State())
+	}
+	// Full transition log recorded.
+	if len(ctl.Log()) < 6 {
+		t.Errorf("transition log has %d entries", len(ctl.Log()))
+	}
+	// Rejoin from Left is allowed.
+	ctl.ScriptJoin(nil)
+	sim.RunFor(10 * time.Second)
+	if ctl.State() != StateInMeeting {
+		t.Errorf("rejoin: %v", ctl.State())
+	}
+}
+
+func TestControllerBadTransitionPanics(t *testing.T) {
+	sim, _ := testbed(1)
+	ctl := NewController(sim)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ctl.ScriptLeave(nil) // not in meeting
+}
+
+func TestViewAndStateStrings(t *testing.T) {
+	for _, v := range []View{ViewFullScreen, ViewGallery, ViewScreenOff} {
+		if v.String() == "" {
+			t.Error("empty view string")
+		}
+	}
+	for s := StateIdle; s <= StateLeft; s++ {
+		if s.String() == "" {
+			t.Error("empty state string")
+		}
+	}
+	sim, _ := testbed(1)
+	ctl := NewController(sim)
+	ctl.SetView(ViewGallery)
+	if ctl.View() != ViewGallery {
+		t.Error("SetView")
+	}
+}
+
+func TestMonitorRecordsRTPMetadata(t *testing.T) {
+	host := Config{
+		Name: "mon-host", Region: geo.USEast,
+		SendVideo: true, VideoClass: media.LowMotion, Seed: 12,
+	}
+	recv := Config{Name: "mon-recv", Region: geo.USEast2, Seed: 13}
+	_, _, rs := runSession(t, platform.Webex, 7, 5*time.Second, host, []Config{recv})
+	tr := rs[0].Trace()
+	withRTP := tr.Filter(func(r capture.Record) bool { return r.RTP != nil && r.Dir == capture.In })
+	if withRTP.Len() == 0 {
+		t.Fatal("no RTP metadata captured")
+	}
+	// Endpoint IP is from the Webex range.
+	eps := withRTP.RemoteEndpoints(capture.In)
+	if len(eps) != 1 || eps[0].IP[0] != 66 {
+		t.Errorf("webex endpoints = %v", eps)
+	}
+	if eps[0].Port != 9000 {
+		t.Errorf("webex media port = %d", eps[0].Port)
+	}
+}
+
+func TestStartBeforeJoinPanics(t *testing.T) {
+	_, net := testbed(1)
+	c := New(net, Config{Name: "x", Region: geo.USEast})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Start()
+}
+
+func TestPcapExportOfSessionTrace(t *testing.T) {
+	host := Config{
+		Name: "pcap-host", Region: geo.USEast,
+		SendVideo: true, VideoClass: media.LowMotion, Seed: 14,
+	}
+	recv := Config{Name: "pcap-recv", Region: geo.USWest, Seed: 15}
+	_, _, rs := runSession(t, platform.Meet, 8, 5*time.Second, host, []Config{recv})
+	tr := rs[0].Trace()
+	var buf bytes.Buffer
+	if err := capture.WritePcap(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, skipped, err := capture.ReadPcap(&buf, tr.Node, capture.IPForName("pcap-recv"))
+	if err != nil || skipped != 0 {
+		t.Fatalf("read back: %v (skipped %d)", err, skipped)
+	}
+	if back.Len() != tr.Len() {
+		t.Errorf("pcap round trip %d != %d", back.Len(), tr.Len())
+	}
+}

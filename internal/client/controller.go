@@ -1,0 +1,158 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/simnet"
+)
+
+// State is the client workflow position, mirroring the UI states the
+// paper's controller scripts navigate with xdotool/adb.
+type State int
+
+const (
+	StateIdle State = iota
+	StateLaunching
+	StateLaunched
+	StateLoggingIn
+	StateLoggedIn
+	StateJoining
+	StateInMeeting
+	StateLeaving
+	StateLeft
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateLaunching:
+		return "launching"
+	case StateLaunched:
+		return "launched"
+	case StateLoggingIn:
+		return "logging-in"
+	case StateLoggedIn:
+		return "logged-in"
+	case StateJoining:
+		return "joining"
+	case StateInMeeting:
+		return "in-meeting"
+	case StateLeaving:
+		return "leaving"
+	case StateLeft:
+		return "left"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// View is the client's layout setting.
+type View int
+
+const (
+	ViewFullScreen View = iota // one remote stream fills the screen
+	ViewGallery                // up to four equal tiles
+	ViewScreenOff              // screen off, audio only
+)
+
+func (v View) String() string {
+	switch v {
+	case ViewFullScreen:
+		return "fullscreen"
+	case ViewGallery:
+		return "gallery"
+	case ViewScreenOff:
+		return "screen-off"
+	}
+	return fmt.Sprintf("View(%d)", int(v))
+}
+
+// MaxVisibleTiles is how many participant videos any of the three clients
+// renders at once (§5: "show videos for up to four concurrent
+// participants" — the reason resource usage plateaus beyond N=5).
+const MaxVisibleTiles = 4
+
+// Transition is one logged workflow step.
+type Transition struct {
+	At    time.Time
+	State State
+}
+
+// Controller replays the scripted client workflow in virtual time.
+type Controller struct {
+	sim   *simnet.Sim
+	state State
+	view  View
+	log   []Transition
+	// Step durations, tunable per platform script.
+	LaunchDur time.Duration
+	LoginDur  time.Duration
+	JoinDur   time.Duration
+	LeaveDur  time.Duration
+}
+
+// NewController creates a controller with typical UI-automation delays.
+func NewController(sim *simnet.Sim) *Controller {
+	return &Controller{
+		sim:       sim,
+		LaunchDur: 2 * time.Second,
+		LoginDur:  1500 * time.Millisecond,
+		JoinDur:   1 * time.Second,
+		LeaveDur:  500 * time.Millisecond,
+	}
+}
+
+// State returns the current workflow state.
+func (c *Controller) State() State { return c.state }
+
+// View returns the current layout.
+func (c *Controller) View() View { return c.view }
+
+// SetView changes the layout (a scripted UI click).
+func (c *Controller) SetView(v View) { c.view = v }
+
+// Log returns the transition history.
+func (c *Controller) Log() []Transition { return c.log }
+
+func (c *Controller) to(s State) {
+	c.state = s
+	c.log = append(c.log, Transition{At: c.sim.Now(), State: s})
+}
+
+// ScriptJoin drives Idle -> ... -> InMeeting, invoking ready when the
+// client is in the meeting (when media may start flowing).
+func (c *Controller) ScriptJoin(ready func()) {
+	if c.state != StateIdle && c.state != StateLeft {
+		panic("client: ScriptJoin from state " + c.state.String())
+	}
+	c.to(StateLaunching)
+	c.sim.After(c.LaunchDur, func() {
+		c.to(StateLaunched)
+		c.to(StateLoggingIn)
+		c.sim.After(c.LoginDur, func() {
+			c.to(StateLoggedIn)
+			c.to(StateJoining)
+			c.sim.After(c.JoinDur, func() {
+				c.to(StateInMeeting)
+				if ready != nil {
+					ready()
+				}
+			})
+		})
+	})
+}
+
+// ScriptLeave drives InMeeting -> Left, invoking done afterwards.
+func (c *Controller) ScriptLeave(done func()) {
+	if c.state != StateInMeeting {
+		panic("client: ScriptLeave from state " + c.state.String())
+	}
+	c.to(StateLeaving)
+	c.sim.After(c.LeaveDur, func() {
+		c.to(StateLeft)
+		if done != nil {
+			done()
+		}
+	})
+}

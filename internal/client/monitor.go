@@ -1,0 +1,70 @@
+// Package client implements the fully emulated videoconferencing client
+// of the paper's Fig 1: a media feeder replaying deterministic audiovisual
+// content through the codec (the loopback-device substitute), a client
+// monitor capturing all traffic tcpdump-style and driving active probing,
+// a client controller replaying the scripted UI workflow, and a desktop
+// recorder capturing what the viewer sees for offline QoE scoring.
+package client
+
+import (
+	"time"
+
+	"github.com/vcabench/vcabench/internal/capture"
+	"github.com/vcabench/vcabench/internal/rtp"
+	"github.com/vcabench/vcabench/internal/simnet"
+)
+
+// Resolver maps node names to trace IPs. Platform endpoints resolve to
+// their service ranges; everything else defaults to capture.IPForName.
+type Resolver func(node string) (capture.IPv4, bool)
+
+// Monitor is the client's traffic-capture component.
+type Monitor struct {
+	trace   *capture.Trace
+	local   capture.IPv4
+	resolve Resolver
+}
+
+// NewMonitor attaches a capture tap to the node. resolve may be nil.
+func NewMonitor(node *simnet.Node, resolve Resolver) *Monitor {
+	m := &Monitor{
+		trace:   capture.NewTrace(node.Name()),
+		local:   capture.IPForName(node.Name()),
+		resolve: resolve,
+	}
+	node.Tap(func(dir simnet.Direction, pkt *simnet.Packet, at time.Time) {
+		m.record(dir, pkt, at)
+	})
+	return m
+}
+
+func (m *Monitor) ipOf(node string) capture.IPv4 {
+	if m.resolve != nil {
+		if ip, ok := m.resolve(node); ok {
+			return ip
+		}
+	}
+	return capture.IPForName(node)
+}
+
+func (m *Monitor) record(dir simnet.Direction, pkt *simnet.Packet, at time.Time) {
+	rec := capture.Record{
+		Time: at,
+		Src:  capture.Endpoint{IP: m.ipOf(pkt.From.Node), Port: uint16(pkt.From.Port)},
+		Dst:  capture.Endpoint{IP: m.ipOf(pkt.To.Node), Port: uint16(pkt.To.Port)},
+		Len:  pkt.Size,
+	}
+	if dir == simnet.DirOut {
+		rec.Dir = capture.Out
+	} else {
+		rec.Dir = capture.In
+	}
+	if rp, ok := pkt.Payload.(*rtp.Packet); ok {
+		info := rp.Info
+		rec.RTP = &info
+	}
+	m.trace.Add(rec)
+}
+
+// Trace returns the capture so far.
+func (m *Monitor) Trace() *capture.Trace { return m.trace }

@@ -1,0 +1,323 @@
+// Package codec models the video and audio codecs inside a
+// videoconferencing client. The model is rate-distortion based rather than
+// a bit-exact H.264/Opus implementation: what the paper measures is how
+// *quality responds to content motion, target bitrate and loss*, and those
+// responses are produced here from first principles:
+//
+//   - per-frame coding cost follows R = C·Npix·log2(1 + m/Δ), where m is
+//     the frame's motion/detail complexity and Δ the quantizer step;
+//   - reconstruction error is quantization noise with variance Δ²/12, so
+//     PSNR/SSIM/VIFp of decoded frames emerge from the simulation instead
+//     of being asserted;
+//   - a leaky-bucket rate controller tracks the platform's target bitrate
+//     and skips frames when the bit debt grows too large (stalls);
+//   - the decoder freezes on loss until the next keyframe, as real
+//     decoders effectively do for the viewer.
+//
+// Because experiments may run at a reduced resolution/frame rate profile,
+// the encoder carries a BitScale factor that maps "wire" bits (what the
+// network sees, calibrated to the paper's 640x480@30 feeds) to "effective"
+// bits (what quality is computed from), keeping both the traffic rates and
+// the quality figures on the paper's scales at any profile.
+package codec
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/vcabench/vcabench/internal/media"
+)
+
+// EncodedFrame is the unit handed to the packetizer.
+type EncodedFrame struct {
+	Seq      int  // encoder frame index
+	Keyframe bool // intra frame
+	Skipped  bool // rate controller dropped this frame (stall)
+	Bits     int  // wire bits (what the network carries)
+	QStep    float64
+	// Source is the frame given to the encoder; Recon is what a decoder
+	// reconstructs. Both are retained as metadata in place of actual
+	// compressed bytes.
+	Source *media.Frame
+	Recon  *media.Frame
+}
+
+// VideoEncoderConfig tunes the encoder model.
+type VideoEncoderConfig struct {
+	// FPS of the input feed.
+	FPS int
+	// TargetBps is the initial wire bitrate target.
+	TargetBps float64
+	// GOP is the keyframe interval in frames (default 2 s worth).
+	GOP int
+	// BitScale maps effective (quality) bits to wire bits; use
+	// BitScaleFor to derive it from the active profile. 0 means 1.
+	BitScale float64
+	// Seed drives the quantization noise.
+	Seed int64
+	// SceneCutMAD forces a keyframe above this inter-frame complexity
+	// (default 25).
+	SceneCutMAD float64
+	// DebtLimitSec is how many seconds of target bits the controller may
+	// owe before skipping frames (default 0.35 s).
+	DebtLimitSec float64
+}
+
+// BitScaleFor returns the BitScale that keeps wire bitrates on the
+// paper's 640x480@30 scale when encoding at profile p.
+func BitScaleFor(p media.Profile) float64 {
+	ref := float64(media.PaperProfile.W*media.PaperProfile.H) * float64(media.PaperProfile.FPS)
+	got := float64(p.W*p.H) * float64(p.FPS)
+	return ref / got
+}
+
+// Rate-distortion model constants.
+const (
+	rdBitsPerPixel = 0.55 // C in R = C·Npix·log2(1+m/Δ)
+	// minQStep is the quality ceiling: encoders stop spending bits once
+	// content is transparent at this quantizer, which is what makes
+	// low-motion streams *cheaper* than their CBR target (Webex's rate
+	// nearly halves on LM, paper §4.3.1).
+	minQStep = 10
+	maxQStep = 200
+	// Floor on per-frame complexity: even a static scene costs something.
+	minComplexity = 0.6
+	// Keyframes code the full picture; inter frames code residuals.
+	keyframeCostFactor = 1.0
+)
+
+// VideoEncoder encodes a frame stream under a dynamic bitrate target.
+type VideoEncoder struct {
+	cfg        VideoEncoderConfig
+	rng        *rand.Rand
+	prevSource *media.Frame // complexity reference (noise-free)
+	seq        int
+	sinceKey   int
+	debtBits   float64
+	targetBps  float64
+}
+
+// NewVideoEncoder creates an encoder. Config zero-values are defaulted.
+func NewVideoEncoder(cfg VideoEncoderConfig) *VideoEncoder {
+	if cfg.FPS <= 0 {
+		cfg.FPS = media.PaperProfile.FPS
+	}
+	if cfg.GOP <= 0 {
+		cfg.GOP = cfg.FPS * 2
+	}
+	if cfg.BitScale <= 0 {
+		cfg.BitScale = 1
+	}
+	if cfg.SceneCutMAD <= 0 {
+		cfg.SceneCutMAD = 45
+	}
+	if cfg.DebtLimitSec <= 0 {
+		cfg.DebtLimitSec = 0.35
+	}
+	if cfg.TargetBps <= 0 {
+		cfg.TargetBps = 1e6
+	}
+	return &VideoEncoder{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		targetBps: cfg.TargetBps,
+	}
+}
+
+// SetTargetBps changes the wire bitrate target (platform adaptation).
+func (e *VideoEncoder) SetTargetBps(bps float64) {
+	if bps > 0 {
+		e.targetBps = bps
+	}
+}
+
+// TargetBps returns the current wire bitrate target.
+func (e *VideoEncoder) TargetBps() float64 { return e.targetBps }
+
+// Encode consumes the next source frame and returns its encoded form.
+// A Skipped frame carries no bits and no reconstruction: the rate
+// controller is stalling the stream.
+func (e *VideoEncoder) Encode(f *media.Frame) EncodedFrame {
+	seq := e.seq
+	e.seq++
+	budget := e.targetBps / float64(e.cfg.FPS)
+	debtLimit := e.targetBps * e.cfg.DebtLimitSec
+
+	// Complexity is measured against the previous *source* frame: it
+	// reflects content motion, independent of how noisy the last
+	// reconstruction happened to be.
+	key := e.prevSource == nil || e.sinceKey+1 >= e.cfg.GOP
+	var m float64
+	if e.prevSource != nil {
+		m = media.MeanAbsDiff(f, e.prevSource)
+		if m > e.cfg.SceneCutMAD {
+			key = true
+		}
+	}
+	if key {
+		m = f.SpatialDetail() * keyframeCostFactor
+	}
+	if m < minComplexity {
+		m = minComplexity
+	}
+	e.prevSource = f
+
+	if e.debtBits > debtLimit {
+		// Stall: skip the frame, recover budget.
+		e.sinceKey++
+		e.debtBits -= budget
+		if e.debtBits < 0 {
+			e.debtBits = 0
+		}
+		return EncodedFrame{Seq: seq, Skipped: true, Source: f}
+	}
+
+	// Choose the quantizer to hit the per-frame budget (minus debt
+	// correction), then derive actual bits from the clamped quantizer.
+	want := budget - e.debtBits*0.25
+	if key {
+		// Keyframes get extra headroom; the controller amortizes it.
+		want *= 2.5
+	}
+	npix := float64(f.W * f.H)
+	effWant := want / e.cfg.BitScale
+
+	// Resolution ladder: below a bits-per-pixel threshold real encoders
+	// trade resolution for quantization fidelity (the 360p/180p tiles
+	// low-rate sessions actually carry). Reconstruction then shows blur
+	// rather than catastrophic quantization noise.
+	scale := 1
+	switch bpp := effWant / npix; {
+	case bpp < 0.015:
+		scale = 4
+	case bpp < 0.06:
+		scale = 2
+	}
+	encW, encH := f.W/scale, f.H/scale
+	if encW < 8 || encH < 8 {
+		scale = 1
+		encW, encH = f.W, f.H
+	}
+	encPix := float64(encW * encH)
+
+	qstep := solveQStep(m, effWant, encPix)
+	effBits := rdBitsPerPixel * encPix * math.Log2(1+m/qstep)
+	bits := effBits * e.cfg.BitScale
+
+	var recon *media.Frame
+	if scale == 1 {
+		recon = e.quantize(f, qstep)
+	} else {
+		recon = e.quantize(f.Resize(encW, encH), qstep).Resize(f.W, f.H)
+	}
+	if key {
+		e.sinceKey = 0
+	} else {
+		e.sinceKey++
+	}
+	e.debtBits += bits - budget
+	if e.debtBits < 0 {
+		e.debtBits = 0
+	}
+	return EncodedFrame{
+		Seq: seq, Keyframe: key, Bits: int(bits), QStep: qstep,
+		Source: f, Recon: recon,
+	}
+}
+
+// solveQStep inverts the rate model for a bit budget, clamped to the
+// codec's quantizer range.
+func solveQStep(m, bits, npix float64) float64 {
+	if bits <= 0 {
+		return maxQStep
+	}
+	den := math.Exp2(bits/(rdBitsPerPixel*npix)) - 1
+	if den <= 0 {
+		return maxQStep
+	}
+	q := m / den
+	if q < minQStep {
+		q = minQStep
+	}
+	if q > maxQStep {
+		q = maxQStep
+	}
+	return q
+}
+
+// quantize produces the reconstructed frame: source plus uniform
+// quantization noise in ±Δ/2.
+func (e *VideoEncoder) quantize(f *media.Frame, qstep float64) *media.Frame {
+	r := f.Clone()
+	half := qstep / 2
+	for i := range r.Pix {
+		n := (e.rng.Float64()*2 - 1) * half
+		v := float64(r.Pix[i]) + n
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		r.Pix[i] = uint8(v)
+	}
+	return r
+}
+
+// VideoDecoder reconstructs the viewer-visible frame sequence, freezing
+// on loss until the next keyframe arrives.
+type VideoDecoder struct {
+	last       *media.Frame
+	needKey    bool
+	frozen     int // consecutive frozen outputs
+	totalOut   int
+	totalFroze int
+}
+
+// NewVideoDecoder returns a decoder with no reference frame.
+func NewVideoDecoder() *VideoDecoder { return &VideoDecoder{needKey: true} }
+
+// Decode consumes the next frame slot. ef == nil means the frame never
+// arrived (lost or still missing at playout deadline); a Skipped frame
+// means the encoder stalled. The return is what the viewer sees for this
+// slot: possibly a repeat of the last good frame, or nil if nothing has
+// ever been decodable.
+func (d *VideoDecoder) Decode(ef *EncodedFrame) *media.Frame {
+	d.totalOut++
+	switch {
+	case ef == nil, ef != nil && ef.Skipped:
+		// Freeze.
+		if ef == nil {
+			d.needKey = true // reference chain broken
+		}
+	case ef.Keyframe:
+		d.needKey = false
+		d.last = ef.Recon
+	case !d.needKey:
+		d.last = ef.Recon
+	default:
+		// Inter frame without a valid reference: keep freezing.
+	}
+	if d.last == nil {
+		d.totalFroze++
+		return nil
+	}
+	if ef == nil || ef.Skipped || (d.needKey && !safeKey(ef)) {
+		d.frozen++
+		d.totalFroze++
+	} else {
+		d.frozen = 0
+	}
+	return d.last
+}
+
+func safeKey(ef *EncodedFrame) bool { return ef != nil && ef.Keyframe }
+
+// FreezeRatio returns the fraction of output slots that repeated a stale
+// frame — the paper's "video frequently stalls" observable.
+func (d *VideoDecoder) FreezeRatio() float64 {
+	if d.totalOut == 0 {
+		return 0
+	}
+	return float64(d.totalFroze) / float64(d.totalOut)
+}

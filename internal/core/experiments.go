@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/client"
+	"github.com/vcabench/vcabench/internal/geo"
+	"github.com/vcabench/vcabench/internal/media"
+	"github.com/vcabench/vcabench/internal/mobile"
+	"github.com/vcabench/vcabench/internal/platform"
+	"github.com/vcabench/vcabench/internal/report"
+)
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // the shape the paper reports, for EXPERIMENTS.md
+	Run   func(tb *Testbed, sc Scale, w io.Writer)
+}
+
+// memo caches sweep results when several experiments share one campaign
+// (fig12/fig14/fig15 all come from the §4.3 US sweep).
+func (tb *Testbed) memoGet(key string) (any, bool) {
+	if tb.memo == nil {
+		return nil, false
+	}
+	v, ok := tb.memo[key]
+	return v, ok
+}
+
+func (tb *Testbed) memoPut(key string, v any) {
+	if tb.memo == nil {
+		tb.memo = make(map[string]any)
+	}
+	tb.memo[key] = v
+}
+
+// lagStudy memoizes RunLagStudy per (scenario, platform).
+func lagStudy(tb *Testbed, sc Scale, sce LagScenario, kind platform.Kind) *LagStudyResult {
+	key := "lag/" + sce.ID + "/" + string(kind)
+	if v, ok := tb.memoGet(key); ok {
+		return v.(*LagStudyResult)
+	}
+	r := RunLagStudy(tb, kind, sce.Host, sce.Fleet, sc)
+	tb.memoPut(key, r)
+	return r
+}
+
+// lagFigure renders one of Figs 4-7.
+func lagFigure(sce LagScenario) func(tb *Testbed, sc Scale, w io.Writer) {
+	return func(tb *Testbed, sc Scale, w io.Writer) {
+		for _, kind := range platform.Kinds {
+			r := lagStudy(tb, sc, sce, kind)
+			plot := report.CDFPlot{
+				Title:  fmt.Sprintf("%s: streaming lag CDF, host %s, %s", sce.ID, sce.Host.Name, kind),
+				XLabel: "video lag (ms)",
+			}
+			for _, reg := range sce.Fleet {
+				plot.Add(reg.Name, r.Lags[reg.Name].Values())
+			}
+			plot.Render(w)
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// rttFigure renders one of Figs 8-11 (service proximity).
+func rttFigure(sce LagScenario, figID string) func(tb *Testbed, sc Scale, w io.Writer) {
+	return func(tb *Testbed, sc Scale, w io.Writer) {
+		for _, kind := range platform.Kinds {
+			r := lagStudy(tb, sc, sce, kind)
+			t := report.Table{
+				Title:  fmt.Sprintf("%s: RTT to service endpoints, host %s, %s", figID, sce.Host.Name, kind),
+				Header: []string{"client", "sessions", "min ms", "median ms", "max ms"},
+			}
+			regions := append([]geo.Region{sce.Host}, sce.Fleet...)
+			for _, reg := range regions {
+				s := r.RTTs[reg.Name]
+				if s == nil || s.Len() == 0 {
+					t.AddRow(reg.Name, 0, "-", "-", "-")
+					continue
+				}
+				t.AddRow(reg.Name, s.Len(), s.Min(), s.Median(), s.Max())
+			}
+			t.Render(w)
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// fig12Key identifies one US QoE sweep cell.
+type fig12Key struct {
+	kind   platform.Kind
+	motion media.MotionClass
+	n      int
+}
+
+// fig12Sweep memoizes the §4.3.1 US campaign.
+func fig12Sweep(tb *Testbed, sc Scale) map[fig12Key]*QoEStudyResult {
+	if v, ok := tb.memoGet("fig12sweep"); ok {
+		return v.(map[fig12Key]*QoEStudyResult)
+	}
+	out := make(map[fig12Key]*QoEStudyResult)
+	for _, kind := range platform.Kinds {
+		for n := 2; n <= 6; n++ {
+			for _, motion := range []media.MotionClass{media.LowMotion, media.HighMotion} {
+				res := RunQoEStudy(tb, kind, geo.USEast,
+					QoEReceiverRegions(geo.ZoneUS, n-1), motion, sc, QoEOpts{})
+				out[fig12Key{kind, motion, n}] = res
+			}
+		}
+	}
+	tb.memoPut("fig12sweep", out)
+	return out
+}
+
+func qoeTable(w io.Writer, title string, sweep map[fig12Key]*QoEStudyResult, motion media.MotionClass, metric func(*QoEStudyResult) float64) {
+	t := report.Table{
+		Title:  title,
+		Header: []string{"N"},
+	}
+	for _, k := range platform.Kinds {
+		t.Header = append(t.Header, string(k))
+	}
+	for n := 2; n <= 6; n++ {
+		row := []any{n}
+		for _, k := range platform.Kinds {
+			if r, ok := sweep[fig12Key{k, motion, n}]; ok {
+				row = append(row, metric(r))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+}
+
+// Experiments returns every paper artifact in presentation order.
+func Experiments() []Experiment {
+	sces := LagScenarios()
+	exps := []Experiment{
+		{
+			ID:    "table1",
+			Title: "Minimum bandwidth requirements vs measured one-on-one rates",
+			Paper: "Zoom 600k; Webex 0.5-2.5M; Meet 1-2.6M",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				vendorMin := map[platform.Kind][2]string{
+					platform.Zoom:  {"600 Kbps", "-"},
+					platform.Webex: {"500 Kbps", "2.5 Mbps"},
+					platform.Meet:  {"1 Mbps", "2.6 Mbps"},
+				}
+				t := report.Table{
+					Title:  "Table 1: one-on-one calls",
+					Header: []string{"platform", "vendor low", "vendor high", "measured down Mbps", "measured up Mbps"},
+				}
+				for _, kind := range platform.Kinds {
+					r := RunQoEStudy(tb, kind, geo.USEast, []geo.Region{geo.USEast2},
+						media.HighMotion, sc, QoEOpts{})
+					t.AddRow(string(kind), vendorMin[kind][0], vendorMin[kind][1],
+						r.DownMbps.Mean(), r.UpMbps.Mean())
+				}
+				t.Render(w)
+			},
+		},
+		{
+			ID:    "table2",
+			Title: "Android device characteristics",
+			Paper: "J3: Android 8, quad-core, 2GB, 720x1280; S10: Android 11, octa-core, 8GB, 1440x3040",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				t := report.Table{
+					Title:  "Table 2: devices",
+					Header: []string{"name", "android", "cores", "memory GB", "screen", "battery mAh"},
+				}
+				for _, d := range mobile.Devices {
+					t.AddRow(d.Name, d.AndroidVersion, d.Cores, d.MemoryGB,
+						fmt.Sprintf("%dx%d", d.ScreenW, d.ScreenH), d.BatterymAh)
+				}
+				t.Render(w)
+			},
+		},
+		{
+			ID:    "table3",
+			Title: "VM locations and counts for streaming lag testing",
+			Paper: "7 US VMs (5 regions) + 7 EU VMs (7 regions)",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				t := report.Table{
+					Title:  "Table 3: vantage points",
+					Header: []string{"zone", "name", "location"},
+				}
+				for _, r := range geo.USRegions {
+					t.AddRow("US", r.Name, r.Location)
+				}
+				for _, r := range geo.EURegions {
+					t.AddRow("Europe", r.Name, r.Location)
+				}
+				t.Render(w)
+			},
+		},
+		{
+			ID:    "fig2",
+			Title: "Video lag measurement: packet-size scatter",
+			Paper: "periodic spikes of >200B packets every 2s; receiver copy shifted by the lag",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				r := lagStudy(tb, sc, sces[0], platform.Zoom)
+				t := report.Table{
+					Title:  "fig2: first flashes (zoom, host US-East)",
+					Header: []string{"side", "t (ms)", "bytes"},
+				}
+				emit := func(side string, ts []time.Duration, ss []int) {
+					big := 0
+					for i := range ts {
+						if ss[i] > 200 {
+							t.AddRow(side, float64(ts[i])/float64(time.Millisecond), ss[i])
+							big++
+							if big >= 8 {
+								return
+							}
+						}
+					}
+				}
+				emit("sent", r.Fig2.SentT, r.Fig2.SentS)
+				emit("received", r.Fig2.RecvT, r.Fig2.RecvS)
+				t.Render(w)
+			},
+		},
+		{
+			ID:    "fig3",
+			Title: "Service endpoint architecture and churn",
+			Paper: "endpoints per client over 20 sessions: Zoom 20, Webex 19.5, Meet 1.8",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				t := report.Table{
+					Title:  "fig3: endpoint discovery (host US-East)",
+					Header: []string{"platform", "sessions", "distinct endpoints", "per session", "topology"},
+				}
+				topo := map[platform.Kind]string{
+					platform.Zoom:  "single endpoint per session (P2P when N=2)",
+					platform.Webex: "single endpoint per session",
+					platform.Meet:  "per-client endpoints, cross-relay",
+				}
+				for _, kind := range platform.Kinds {
+					r := lagStudy(tb, sc, sces[0], kind)
+					t.AddRow(string(kind), r.Endpoints.Sessions, r.Endpoints.Total,
+						r.Endpoints.PerSession, topo[kind])
+				}
+				t.Render(w)
+			},
+		},
+		{ID: "fig4", Title: "Streaming lag CDF: host US-East", Paper: "US lag 20-50ms Zoom / 10-70 Webex / 40-70 Meet; farther from US-East = worse", Run: lagFigure(sces[0])},
+		{ID: "fig5", Title: "Streaming lag CDF: host US-West", Paper: "Webex detours via US-East: distributions shift ~30ms; worst lag for the other US-West client", Run: lagFigure(sces[1])},
+		{ID: "fig6", Title: "Streaming lag CDF: host UK-West", Paper: "EU on Zoom 90-150ms / Webex 75-90ms; Meet 30-40ms", Run: lagFigure(sces[2])},
+		{ID: "fig7", Title: "Streaming lag CDF: host Switzerland", Paper: "same shape as fig6", Run: lagFigure(sces[3])},
+		{ID: "fig8", Title: "Service proximity: host US-East", Paper: "Zoom/Webex: RTT grows with distance from US-East; Meet: uniform low RTTs", Run: rttFigure(sces[0], "fig8")},
+		{ID: "fig9", Title: "Service proximity: host US-West", Paper: "Webex endpoints stay east: US-West RTTs ~60ms", Run: rttFigure(sces[1], "fig9")},
+		{ID: "fig10", Title: "Service proximity: host UK-West", Paper: "Zoom shows 3 RTT bands 20/40ms apart (US regional LB); Webex pinned at trans-Atlantic RTT; Meet local", Run: rttFigure(sces[2], "fig10")},
+		{ID: "fig11", Title: "Service proximity: host Switzerland", Paper: "same shape as fig10", Run: rttFigure(sces[3], "fig11")},
+		{
+			ID:    "fig12",
+			Title: "Video QoE vs session size (US)",
+			Paper: "LM > HM everywhere; Meet N=2 QoE boost; Webex most stable",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				sweep := fig12Sweep(tb, sc)
+				for _, m := range []media.MotionClass{media.LowMotion, media.HighMotion} {
+					qoeTable(w, fmt.Sprintf("fig12 %s: PSNR (dB)", m), sweep, m, func(r *QoEStudyResult) float64 { return r.PSNR.Mean() })
+					qoeTable(w, fmt.Sprintf("fig12 %s: SSIM", m), sweep, m, func(r *QoEStudyResult) float64 { return r.SSIM.Mean() })
+					qoeTable(w, fmt.Sprintf("fig12 %s: VIFp", m), sweep, m, func(r *QoEStudyResult) float64 { return r.VIFP.Mean() })
+				}
+			},
+		},
+		{
+			ID:    "fig14",
+			Title: "QoE reduction from low-motion to high-motion (US)",
+			Paper: "drop is significant (one MOS level); Webex's worsens with N",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				sweep := fig12Sweep(tb, sc)
+				for name, metric := range map[string]func(*QoEStudyResult) float64{
+					"PSNR degradation (dB)": func(r *QoEStudyResult) float64 { return r.PSNR.Mean() },
+					"SSIM degradation":      func(r *QoEStudyResult) float64 { return r.SSIM.Mean() },
+					"VIFp degradation":      func(r *QoEStudyResult) float64 { return r.VIFP.Mean() },
+				} {
+					t := report.Table{Title: "fig14: " + name, Header: []string{"N"}}
+					for _, k := range platform.Kinds {
+						t.Header = append(t.Header, string(k))
+					}
+					for n := 2; n <= 6; n++ {
+						row := []any{n}
+						for _, k := range platform.Kinds {
+							lm := sweep[fig12Key{k, media.LowMotion, n}]
+							hm := sweep[fig12Key{k, media.HighMotion, n}]
+							row = append(row, metric(lm)-metric(hm))
+						}
+						t.AddRow(row...)
+					}
+					t.Render(w)
+					fmt.Fprintln(w)
+				}
+			},
+		},
+		{
+			ID:    "fig15",
+			Title: "Upload/download data rates (US)",
+			Paper: "Webex highest multi-user, halves on LM; Meet most variable, N=2 at 1.6-2.0M; Zoom flattest, P2P ~1M vs relay ~0.7M",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				sweep := fig12Sweep(tb, sc)
+				for _, m := range []media.MotionClass{media.LowMotion, media.HighMotion} {
+					t := report.Table{
+						Title:  fmt.Sprintf("fig15 %s: data rates (Mbps)", m),
+						Header: []string{"N"},
+					}
+					for _, k := range platform.Kinds {
+						t.Header = append(t.Header, string(k)+"-up", string(k)+"-down")
+					}
+					for n := 2; n <= 6; n++ {
+						row := []any{n}
+						for _, k := range platform.Kinds {
+							r := sweep[fig12Key{k, m, n}]
+							row = append(row, r.UpMbps.Mean(), r.DownMbps.Mean())
+						}
+						t.AddRow(row...)
+					}
+					t.Render(w)
+					fmt.Fprintln(w)
+				}
+			},
+		},
+		{
+			ID:    "fig16",
+			Title: "Video QoE (Europe, high motion)",
+			Paper: "Meet keeps a slight QoE edge in Europe; Zoom varies more at high N",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				t := report.Table{Title: "fig16: QoE, host CH, HM", Header: []string{"N"}}
+				for _, k := range platform.Kinds {
+					t.Header = append(t.Header, string(k)+"-PSNR", string(k)+"-SSIM", string(k)+"-VIFp")
+				}
+				for n := 2; n <= 6; n++ {
+					row := []any{n}
+					for _, k := range platform.Kinds {
+						r := RunQoEStudy(tb, k, geo.CH, QoEReceiverRegions(geo.ZoneEU, n-1),
+							media.HighMotion, sc, QoEOpts{})
+						row = append(row, r.PSNR.Mean(), r.SSIM.Mean(), r.VIFP.Mean())
+					}
+					t.AddRow(row...)
+				}
+				t.Render(w)
+			},
+		},
+		{
+			ID:    "fig17",
+			Title: "Video QoE under bandwidth caps",
+			Paper: "Zoom best >=500k with a 250k cliff; Meet most graceful; Webex collapses <=1M (stalls)",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				for _, m := range []media.MotionClass{media.LowMotion, media.HighMotion} {
+					t := report.Table{
+						Title:  fmt.Sprintf("fig17 %s: QoE vs downlink cap", m),
+						Header: []string{"cap"},
+					}
+					for _, k := range platform.Kinds {
+						t.Header = append(t.Header, string(k)+"-PSNR", string(k)+"-SSIM", string(k)+"-VIFp", string(k)+"-freeze")
+					}
+					for _, cap := range BandwidthCaps {
+						row := []any{CapLabel(cap)}
+						for _, k := range platform.Kinds {
+							r := RunQoEStudy(tb, k, geo.USEast, []geo.Region{geo.USEast2},
+								m, sc, QoEOpts{DownlinkCapBps: cap})
+							row = append(row, r.PSNR.Mean(), r.SSIM.Mean(), r.VIFP.Mean(), r.Freeze.Mean())
+						}
+						t.AddRow(row...)
+					}
+					t.Render(w)
+					fmt.Fprintln(w)
+				}
+			},
+		},
+		{
+			ID:    "fig18",
+			Title: "Audio quality under bandwidth caps (MOS-LQO)",
+			Paper: "Zoom/Meet audio flat at all caps; Webex audio degrades at <=500k",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				t := report.Table{
+					Title:  "fig18: MOS-LQO vs downlink cap (LM sessions with speech)",
+					Header: []string{"cap"},
+				}
+				for _, k := range platform.Kinds {
+					t.Header = append(t.Header, string(k))
+				}
+				for _, cap := range BandwidthCaps {
+					row := []any{CapLabel(cap)}
+					for _, k := range platform.Kinds {
+						r := RunQoEStudy(tb, k, geo.USEast, []geo.Region{geo.USEast2},
+							media.LowMotion, sc, QoEOpts{DownlinkCapBps: cap, WithAudio: true})
+						row = append(row, r.MOS.Mean())
+					}
+					t.AddRow(row...)
+				}
+				t.Render(w)
+			},
+		},
+		{
+			ID:    "fig19",
+			Title: "Mobile resource consumption (CPU, data rate, battery)",
+			Paper: "2-3 cores; Meet most bandwidth-hungry; gallery helps only Zoom; screen-off halves battery",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				rng := tb.Sim.Fork("fig19")
+				cpu := report.Table{Title: "fig19a: CPU usage (%) median [p25-p75]", Header: []string{"scenario"}}
+				rate := report.Table{Title: "fig19b: download data rate (Mbps)", Header: []string{"scenario"}}
+				bat := report.Table{Title: "fig19c: battery discharge (mAh per 5-min call, J3)", Header: []string{"scenario"}}
+				for _, k := range platform.Kinds {
+					for _, d := range []string{"S10", "J3"} {
+						cpu.Header = append(cpu.Header, string(k)+"-"+d)
+						rate.Header = append(rate.Header, string(k)+"-"+d)
+					}
+					bat.Header = append(bat.Header, string(k))
+				}
+				for _, scn := range mobile.StandardScenarios {
+					cpuRow := []any{scn.Label}
+					rateRow := []any{scn.Label}
+					batRow := []any{scn.Label}
+					for _, k := range platform.Kinds {
+						for _, d := range mobile.Devices {
+							s := mobile.CPUSamples(k, d, scn, 100, rng)
+							sum := s.Summarize()
+							cpuRow = append(cpuRow, fmt.Sprintf("%.0f [%.0f-%.0f]", sum.P50, sum.P25, sum.P75))
+							rateRow = append(rateRow, mobile.DataRateMbps(k, d, scn))
+						}
+						batRow = append(batRow, mobile.DischargemAh(k, mobile.GalaxyJ3, scn, 5))
+					}
+					cpu.AddRow(cpuRow...)
+					rate.AddRow(rateRow...)
+					bat.AddRow(batRow...)
+				}
+				cpu.Render(w)
+				fmt.Fprintln(w)
+				rate.Render(w)
+				fmt.Fprintln(w)
+				bat.Render(w)
+			},
+		},
+		{
+			ID:    "table4",
+			Title: "Data rate and CPU vs conference size",
+			Paper: "gallery doubles Zoom's rate at N=6; Webex gallery rate drops; plateau beyond 4 visible tiles",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				t := report.Table{
+					Title:  "Table 4: per-device data rate (Mbps) and CPU (%) S10/J3",
+					Header: []string{"N", "client", "full rate", "full CPU", "gallery rate", "gallery CPU"},
+				}
+				for _, n := range []int{3, 6, 11} {
+					for _, k := range platform.Kinds {
+						full := mobile.Scenario{Label: "full", Feed: media.HighMotion, View: client.ViewFullScreen, N: n}
+						gal := mobile.Scenario{Label: "gal", Feed: media.HighMotion, View: client.ViewGallery, N: n}
+						t.AddRow(n, string(k),
+							fmt.Sprintf("%.2f/%.2f",
+								mobile.DataRateMbps(k, mobile.GalaxyS10, full),
+								mobile.DataRateMbps(k, mobile.GalaxyJ3, full)),
+							fmt.Sprintf("%.0f/%.0f",
+								mobile.CPUPercent(k, mobile.GalaxyS10, full),
+								mobile.CPUPercent(k, mobile.GalaxyJ3, full)),
+							fmt.Sprintf("%.2f/%.2f",
+								mobile.DataRateMbps(k, mobile.GalaxyS10, gal),
+								mobile.DataRateMbps(k, mobile.GalaxyJ3, gal)),
+							fmt.Sprintf("%.0f/%.0f",
+								mobile.CPUPercent(k, mobile.GalaxyS10, gal),
+								mobile.CPUPercent(k, mobile.GalaxyJ3, gal)))
+					}
+				}
+				t.Render(w)
+			},
+		},
+	}
+	exps = append(exps, ablations()...)
+	exps = append(exps, extraExperiments...)
+	return exps
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	var out []string
+	for _, e := range Experiments() {
+		out = append(out, e.ID)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/geo"
+	"github.com/vcabench/vcabench/internal/media"
+	"github.com/vcabench/vcabench/internal/platform"
+	"github.com/vcabench/vcabench/internal/report"
+	"github.com/vcabench/vcabench/internal/simnet"
+)
+
+// Extensions implement the future work the paper sketches in §6:
+// dynamic last-mile variation ("a more realistic QoE analysis would
+// consider dynamic bandwidth variation and jitter as well") and
+// conference scalability beyond the 11 participants the paper reached.
+func init() {
+	extraExperiments = append(extraExperiments,
+		Experiment{
+			ID:    "ext-lastmile",
+			Title: "QoE under a fluctuating last mile (paper §6 future work)",
+			Paper: "not in the paper; extends Fig 17 with time-varying capacity",
+			Run:   runLastMile,
+		},
+		Experiment{
+			ID:    "ext-scale",
+			Title: "QoE as sessions grow to 11 participants (paper §6 future work)",
+			Paper: "not in the paper; extends Fig 12 beyond N=6",
+			Run:   runScaleStudy,
+		},
+	)
+}
+
+// extraExperiments is appended to the registry by Experiments.
+var extraExperiments []Experiment
+
+// runLastMile alternates a receiver's downlink between a comfortable and
+// a congested capacity every few seconds and compares each platform's
+// QoE against its steady-state behaviour at both extremes.
+func runLastMile(tb *Testbed, sc Scale, w io.Writer) {
+	t := report.Table{
+		Title:  "ext-lastmile: fluctuating 1.5Mbps <-> 300kbps downlink (HM feed)",
+		Header: []string{"platform", "fluct PSNR", "fluct SSIM", "fluct freeze", "steady-300k SSIM", "steady-1.5M SSIM"},
+	}
+	for _, kind := range platform.Kinds {
+		fl := runFluctuating(tb, kind, sc, 1_500_000, 300_000, 4*time.Second)
+		lo := RunQoEStudy(tb, kind, geo.USEast, []geo.Region{geo.USEast2},
+			media.HighMotion, sc, QoEOpts{DownlinkCapBps: 300_000})
+		hi := RunQoEStudy(tb, kind, geo.USEast, []geo.Region{geo.USEast2},
+			media.HighMotion, sc, QoEOpts{DownlinkCapBps: 1_500_000})
+		t.AddRow(string(kind), fl.PSNR.Mean(), fl.SSIM.Mean(), fl.Freeze.Mean(),
+			lo.SSIM.Mean(), hi.SSIM.Mean())
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "\nA platform that adapts quickly should land near its steady-state")
+	fmt.Fprintln(w, "mean; one that oscillates (Webex) lands well below the worse extreme.")
+}
+
+// runFluctuating is RunQoEStudy with the cap toggled mid-session.
+func runFluctuating(tb *Testbed, kind platform.Kind, sc Scale, hiBps, loBps int64, period time.Duration) *QoEStudyResult {
+	res := RunQoEStudyWithSetup(tb, kind, geo.USEast, []geo.Region{geo.USEast2},
+		media.HighMotion, sc, QoEOpts{DownlinkCapBps: hiBps},
+		func(recvNodes []*simnet.Node) {
+			for _, n := range recvNodes {
+				n := n
+				high := true
+				tb.Sim.Every(period, func() {
+					high = !high
+					cap := hiBps
+					if !high {
+						cap = loBps
+					}
+					n.SetDownlinkShaper(simnet.NewTokenBucket(cap, 24*1024))
+				})
+			}
+		})
+	return res
+}
+
+// runScaleStudy pushes sessions to 11 participants (the paper's §6
+// question) and reports how QoE and the host's upload rate hold up.
+func runScaleStudy(tb *Testbed, sc Scale, w io.Writer) {
+	t := report.Table{
+		Title:  "ext-scale: QoE and rates up to N=11 (HM feed, US)",
+		Header: []string{"N"},
+	}
+	for _, k := range platform.Kinds {
+		t.Header = append(t.Header, string(k)+"-SSIM", string(k)+"-up Mbps", string(k)+"-down Mbps")
+	}
+	for _, n := range []int{2, 6, 11} {
+		row := []any{n}
+		for _, k := range platform.Kinds {
+			r := RunQoEStudy(tb, k, geo.USEast, QoEReceiverRegions(geo.ZoneUS, n-1),
+				media.HighMotion, sc, QoEOpts{})
+			row = append(row, r.SSIM.Mean(), r.UpMbps.Mean(), r.DownMbps.Mean())
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"time"
+
+	"github.com/vcabench/vcabench/internal/capture"
+	"github.com/vcabench/vcabench/internal/client"
+	"github.com/vcabench/vcabench/internal/geo"
+	"github.com/vcabench/vcabench/internal/media"
+	"github.com/vcabench/vcabench/internal/platform"
+	"github.com/vcabench/vcabench/internal/qoe"
+	"github.com/vcabench/vcabench/internal/simnet"
+	"github.com/vcabench/vcabench/internal/stats"
+)
+
+// QoEOpts tunes a QoE study beyond its geometry.
+type QoEOpts struct {
+	// DownlinkCapBps applies a tc-style token-bucket cap on every
+	// receiver's ingress (Figs 17/18); 0 means unlimited.
+	DownlinkCapBps int64
+	// WithAudio streams speech alongside video and scores MOS-LQO.
+	WithAudio bool
+}
+
+// QoEStudyResult aggregates one (platform, motion, N) cell of Figs 12-18.
+type QoEStudyResult struct {
+	Kind   platform.Kind
+	Motion media.MotionClass
+	N      int // users in the session, host included
+
+	PSNR, SSIM, VIFP *stats.Sample // across sessions × receivers
+	Freeze           *stats.Sample
+	UpMbps, DownMbps *stats.Sample // host upload / receiver download (L7)
+	MOS              *stats.Sample // audio, when WithAudio
+}
+
+func newQoEResult(kind platform.Kind, motion media.MotionClass, n int) *QoEStudyResult {
+	return &QoEStudyResult{
+		Kind: kind, Motion: motion, N: n,
+		PSNR: stats.NewSample(0), SSIM: stats.NewSample(0), VIFP: stats.NewSample(0),
+		Freeze: stats.NewSample(0),
+		UpMbps: stats.NewSample(0), DownMbps: stats.NewSample(0),
+		MOS: stats.NewSample(0),
+	}
+}
+
+// RunQoEStudy reproduces one §4.3 cell: a host VM injecting a motion-
+// class feed into sc.QoESessions sessions, with every receiver's desktop
+// recording scored by PSNR/SSIM/VIFp against the injected original, and
+// data rates computed from L7 trace payloads.
+func RunQoEStudy(tb *Testbed, kind platform.Kind, host geo.Region, recvRegions []geo.Region,
+	motion media.MotionClass, sc Scale, opts QoEOpts) *QoEStudyResult {
+	return RunQoEStudyWithSetup(tb, kind, host, recvRegions, motion, sc, opts, nil)
+}
+
+// RunQoEStudyWithSetup is RunQoEStudy with a hook invoked once after the
+// receiver nodes exist and before any session starts — the seam used by
+// the last-mile extension to install time-varying shapers.
+func RunQoEStudyWithSetup(tb *Testbed, kind platform.Kind, host geo.Region, recvRegions []geo.Region,
+	motion media.MotionClass, sc Scale, opts QoEOpts, setup func(recvNodes []*simnet.Node)) *QoEStudyResult {
+
+	pf := tb.Platform(kind)
+	resolve := tb.Resolver()
+	res := newQoEResult(kind, motion, len(recvRegions)+1)
+
+	var clip *media.AudioClip
+	if opts.WithAudio {
+		clip = media.NewSpeech(sc.QoEDur.Seconds(), tb.seed+11)
+	}
+	hostClient := client.New(tb.Net, client.Config{
+		Name:       tb.uniqueName("qoe-" + string(kind) + "-host"),
+		Region:     host,
+		SendVideo:  true,
+		VideoClass: motion,
+		Profile:    sc.Profile,
+		SendAudio:  opts.WithAudio,
+		AudioClip:  clip,
+		Seed:       tb.seed + 300,
+		Resolve:    resolve,
+	})
+	recvs := make([]*client.Client, len(recvRegions))
+	for i, r := range recvRegions {
+		cfg := client.Config{
+			Name:    tb.uniqueName("qoe-" + string(kind) + "-r" + r.Name),
+			Region:  r,
+			Profile: sc.Profile,
+			Seed:    tb.seed + 400 + int64(i),
+			Resolve: resolve,
+		}
+		if opts.DownlinkCapBps > 0 {
+			// tc-tbf style: a short buffer, so overload surfaces as loss
+			// within ~1 s instead of an unbounded standing queue.
+			cfg.QueueBytes = 32 * 1024
+		}
+		recvs[i] = client.New(tb.Net, cfg)
+		if opts.DownlinkCapBps > 0 {
+			recvs[i].Node().SetDownlinkShaper(simnet.NewTokenBucket(opts.DownlinkCapBps, 24*1024))
+		}
+	}
+
+	if setup != nil {
+		nodes := make([]*simnet.Node, len(recvs))
+		for i, r := range recvs {
+			nodes[i] = r.Node()
+		}
+		setup(nodes)
+	}
+
+	all := append([]*client.Client{hostClient}, recvs...)
+	for sess := 0; sess < sc.QoESessions; sess++ {
+		s := pf.CreateSession()
+		for _, c := range all {
+			c.Join(s)
+		}
+		s.Start()
+		from := tb.Sim.Now()
+		for _, c := range all {
+			c.Start()
+		}
+		tb.Sim.RunFor(sc.QoEDur)
+		for _, c := range all {
+			c.Stop()
+		}
+		s.End()
+		to := tb.Sim.Now()
+
+		// Score this session.
+		hostWin := hostClient.Trace().Between(from, to)
+		res.UpMbps.Add(hostWin.Rate(capture.Out) / 1e6)
+		for _, r := range recvs {
+			rec := r.Record(hostClient)
+			v := qoe.CompareVideo(rec.Ref, rec.Displayed, sc.QoEStride)
+			res.PSNR.Add(v.PSNR)
+			res.SSIM.Add(v.SSIM)
+			res.VIFP.Add(v.VIFP)
+			res.Freeze.Add(v.FreezeRatio)
+			win := r.Trace().Between(from, to)
+			res.DownMbps.Add(win.Rate(capture.In) / 1e6)
+			if opts.WithAudio && rec.Audio != nil {
+				res.MOS.Add(qoe.MOSLQO(rec.RefAudio, rec.Audio))
+			}
+		}
+		for _, c := range all {
+			c.Reset()
+		}
+		tb.Sim.RunFor(2 * time.Second)
+	}
+	return res
+}
+
+// BandwidthCaps is the Fig-17/18 sweep, 0 meaning "Infinite".
+var BandwidthCaps = []int64{250_000, 500_000, 1_000_000, 0}
+
+// CapLabel names a cap value as the paper's x-axis does.
+func CapLabel(cap int64) string {
+	switch cap {
+	case 0:
+		return "Infinite"
+	case 250_000:
+		return "250Kbps"
+	case 500_000:
+		return "500Kbps"
+	case 1_000_000:
+		return "1Mbps"
+	}
+	return ratePretty(float64(cap))
+}
+
+func ratePretty(bps float64) string {
+	switch {
+	case bps >= 1e6:
+		return trim(bps/1e6) + "Mbps"
+	case bps >= 1e3:
+		return trim(bps/1e3) + "Kbps"
+	}
+	return trim(bps) + "bps"
+}
+
+func trim(v float64) string {
+	s := make([]byte, 0, 8)
+	whole := int64(v)
+	s = appendInt(s, whole)
+	frac := int64((v - float64(whole)) * 10)
+	if frac > 0 {
+		s = append(s, '.')
+		s = appendInt(s, frac)
+	}
+	return string(s)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}

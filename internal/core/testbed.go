@@ -1,0 +1,169 @@
+// Package core is the paper's primary contribution rebuilt as a library:
+// the controlled, reproducible benchmarking harness of §3. It provisions
+// the vantage-point fleet (Table 3), coordinates sessions across the
+// platform models, and implements one experiment runner per table and
+// figure of the evaluation (§4-§5). See DESIGN.md for the experiment
+// index.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/capture"
+	"github.com/vcabench/vcabench/internal/client"
+	"github.com/vcabench/vcabench/internal/geo"
+	"github.com/vcabench/vcabench/internal/media"
+	"github.com/vcabench/vcabench/internal/platform"
+	"github.com/vcabench/vcabench/internal/simnet"
+)
+
+// Testbed couples the simulated network with the platforms under test —
+// the stand-in for the paper's Azure subscription.
+type Testbed struct {
+	Sim  *simnet.Sim
+	Net  *simnet.Network
+	seed int64
+
+	platforms map[platform.Kind]*platform.Platform
+	overrides map[platform.Kind]platform.Config
+	nameSeq   int
+	memo      map[string]any
+}
+
+// NewTestbed creates a testbed seeded for reproducibility. The core
+// network carries mild distance-dependent loss (~0.2% per 100 ms of
+// one-way propagation), which is what makes cross-continental relay
+// detours cost quality and not just latency (the mechanism behind
+// Meet's European QoE edge in Fig 16).
+func NewTestbed(seed int64) *Testbed {
+	sim := simnet.NewSim(seed)
+	return &Testbed{
+		Sim:       sim,
+		Net:       simnet.NewNetwork(sim, simnet.NetworkConfig{DistLossPer100ms: 0.002}),
+		seed:      seed,
+		platforms: make(map[platform.Kind]*platform.Platform),
+		overrides: make(map[platform.Kind]platform.Config),
+	}
+}
+
+// OverridePlatform replaces a platform's configuration before first use
+// (paid-tier and ablation experiments).
+func (tb *Testbed) OverridePlatform(cfg platform.Config) {
+	if _, used := tb.platforms[cfg.Kind]; used {
+		panic("core: OverridePlatform after the platform was instantiated")
+	}
+	tb.overrides[cfg.Kind] = cfg
+}
+
+// Platform returns (instantiating on first use) the given service.
+func (tb *Testbed) Platform(k platform.Kind) *platform.Platform {
+	if p, ok := tb.platforms[k]; ok {
+		return p
+	}
+	var p *platform.Platform
+	if cfg, ok := tb.overrides[k]; ok {
+		p = platform.NewWithConfig(cfg, tb.Net)
+	} else {
+		p = platform.New(k, tb.Net)
+	}
+	tb.platforms[k] = p
+	return p
+}
+
+// Resolver maps any platform endpoint to its service IP and everything
+// else to the default hash addressing.
+func (tb *Testbed) Resolver() client.Resolver {
+	return func(node string) (capture.IPv4, bool) {
+		for _, p := range tb.platforms {
+			if ip, ok := p.Resolve(node); ok {
+				return ip, true
+			}
+		}
+		return capture.IPv4{}, false
+	}
+}
+
+// uniqueName produces a collision-free node name.
+func (tb *Testbed) uniqueName(prefix string) string {
+	tb.nameSeq++
+	return fmt.Sprintf("%s-%d", prefix, tb.nameSeq)
+}
+
+// Scale sets experiment cost. Paper scale reproduces the full campaign;
+// Quick preserves every relative result at a fraction of the compute;
+// Tiny is for unit tests.
+type Scale struct {
+	Name string
+	// Lag studies (Figs 2-11).
+	LagSessions      int
+	LagDur           time.Duration
+	ProbesPerSession int
+	// QoE studies (Figs 12-18).
+	QoESessions int
+	QoEDur      time.Duration
+	QoEStride   int // score every k-th frame
+	// Media profile for generated feeds.
+	Profile media.Profile
+}
+
+// Predefined scales.
+var (
+	PaperScale = Scale{
+		Name:        "paper",
+		LagSessions: 20, LagDur: 2 * time.Minute, ProbesPerSession: 100,
+		QoESessions: 5, QoEDur: 5 * time.Minute, QoEStride: 10,
+		Profile: media.PaperProfile,
+	}
+	QuickScale = Scale{
+		Name:        "quick",
+		LagSessions: 4, LagDur: 25 * time.Second, ProbesPerSession: 12,
+		QoESessions: 2, QoEDur: 12 * time.Second, QoEStride: 4,
+		Profile: media.QuickProfile,
+	}
+	TinyScale = Scale{
+		Name:        "tiny",
+		LagSessions: 2, LagDur: 12 * time.Second, ProbesPerSession: 5,
+		QoESessions: 1, QoEDur: 8 * time.Second, QoEStride: 5,
+		Profile: media.QuickProfile,
+	}
+)
+
+// USLagFleet returns the six non-host US vantage points for a given host
+// (Table 3: seven VMs, the host plus six participants).
+func USLagFleet(host geo.Region) []geo.Region {
+	var out []geo.Region
+	for _, r := range geo.USRegions {
+		if r.Name != host.Name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// EULagFleet is the European counterpart.
+func EULagFleet(host geo.Region) []geo.Region {
+	var out []geo.Region
+	for _, r := range geo.EURegions {
+		if r.Name != host.Name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// QoEReceiverRegions returns the paper's §4.3 receiver mix: for the US
+// study, VMs in US-East and US-West; for Europe, the §4.3.2 set.
+func QoEReceiverRegions(zone geo.Zone, n int) []geo.Region {
+	var pool []geo.Region
+	if zone == geo.ZoneUS {
+		pool = []geo.Region{geo.USWest, geo.USEast2, geo.USWest2, geo.USEast, geo.USCentral}
+	} else {
+		pool = []geo.Region{geo.FR, geo.DE, geo.IE, geo.UKSouth, geo.UKWest}
+	}
+	out := make([]geo.Region, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pool[i%len(pool)])
+	}
+	return out
+}

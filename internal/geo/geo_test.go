@@ -1,0 +1,163 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	// London <-> New York great-circle distance is ~5570 km.
+	ny := LatLon{40.71, -74.01}
+	ldn := LatLon{51.51, -0.13}
+	d := DistanceKm(ny, ldn)
+	if d < 5400 || d > 5750 {
+		t.Errorf("NY-London distance = %.0f km, want ~5570", d)
+	}
+	// Identical points.
+	if d := DistanceKm(ny, ny); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := LatLon{math.Mod(lat1, 90), math.Mod(lon1, 180)}
+		b := LatLon{math.Mod(lat2, 90), math.Mod(lon2, 180)}
+		if math.IsNaN(a.Lat) || math.IsNaN(a.Lon) || math.IsNaN(b.Lat) || math.IsNaN(b.Lon) {
+			return true
+		}
+		d1 := DistanceKm(a, b)
+		d2 := DistanceKm(b, a)
+		return math.Abs(d1-d2) < 1e-6 && d1 >= 0 && d1 <= 2*math.Pi*earthRadiusKm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRTTCalibration(t *testing.T) {
+	m := DefaultPathModel
+	// Trans-Atlantic: UK-South <-> pop-us-east should be ~65-90 ms RTT.
+	rtt := m.RTT(UKSouth, PoPUSEast)
+	if rtt < 60*time.Millisecond || rtt > 95*time.Millisecond {
+		t.Errorf("trans-Atlantic RTT = %v, want ~75ms", rtt)
+	}
+	// US coast-to-coast: ~45-75 ms RTT.
+	cc := m.RTT(USWest, PoPUSEast)
+	if cc < 45*time.Millisecond || cc > 80*time.Millisecond {
+		t.Errorf("coast-to-coast RTT = %v, want ~60ms", cc)
+	}
+	// Intra-Europe should be far smaller than trans-Atlantic.
+	eu := m.RTT(UKSouth, PoPEUCentral)
+	if eu >= cc {
+		t.Errorf("intra-EU RTT %v not < coast-to-coast %v", eu, cc)
+	}
+	// Same-region is sub-millisecond.
+	if same := m.RTT(USEast, USEast); same >= time.Millisecond {
+		t.Errorf("same-region RTT = %v", same)
+	}
+}
+
+func TestRTTSymmetricDeterministic(t *testing.T) {
+	m := DefaultPathModel
+	r1 := m.RTT(CH, PoPUSEast)
+	r2 := m.RTT(PoPUSEast, CH)
+	if r1 != r2 {
+		t.Errorf("RTT not symmetric: %v vs %v", r1, r2)
+	}
+	if r1 != m.RTT(CH, PoPUSEast) {
+		t.Error("RTT not deterministic")
+	}
+}
+
+func TestInflationBounds(t *testing.T) {
+	m := DefaultPathModel
+	regions := append(append([]Region{}, USRegions...), EURegions...)
+	for _, a := range regions {
+		for _, b := range regions {
+			if a.Name == b.Name {
+				continue
+			}
+			f := m.inflation(a, b)
+			if f < m.InflationMin || f > m.InflationMax {
+				t.Fatalf("inflation(%s,%s) = %v out of [%v,%v]",
+					a.Name, b.Name, f, m.InflationMin, m.InflationMax)
+			}
+		}
+	}
+}
+
+func TestNearest(t *testing.T) {
+	m := DefaultPathModel
+	pops := []Region{PoPUSEast, PoPUSWest, PoPEUWest}
+	if got := m.Nearest(USWest, pops); got.Name != PoPUSWest.Name {
+		t.Errorf("Nearest(US-West) = %s", got.Name)
+	}
+	if got := m.Nearest(UKSouth, pops); got.Name != PoPEUWest.Name {
+		t.Errorf("Nearest(UK-South) = %s", got.Name)
+	}
+	if got := m.Nearest(USEast, pops); got.Name != PoPUSEast.Name {
+		t.Errorf("Nearest(US-East) = %s", got.Name)
+	}
+}
+
+func TestNearestPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DefaultPathModel.Nearest(USEast, nil)
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 20 {
+		t.Errorf("registry has %d regions", len(reg))
+	}
+	r, err := Lookup("US-East")
+	if err != nil || r.Location != "Virginia" {
+		t.Errorf("Lookup(US-East) = %v, %v", r, err)
+	}
+	if _, err := Lookup("Atlantis"); err == nil {
+		t.Error("Lookup of unknown region should fail")
+	}
+}
+
+func TestFleetMatchesTable3(t *testing.T) {
+	if len(USRegions) != 7 {
+		t.Errorf("US fleet size = %d, want 7", len(USRegions))
+	}
+	if len(EURegions) != 7 {
+		t.Errorf("EU fleet size = %d, want 7", len(EURegions))
+	}
+	for _, r := range USRegions {
+		if r.Zone != ZoneUS {
+			t.Errorf("%s zone = %s", r.Name, r.Zone)
+		}
+	}
+	for _, r := range EURegions {
+		if r.Zone != ZoneEU {
+			t.Errorf("%s zone = %s", r.Name, r.Zone)
+		}
+	}
+}
+
+func TestZoneOrdering(t *testing.T) {
+	// Lag-relevant sanity: US-West is farther from the US-East PoP than
+	// US-Central is, and all EU regions are farther still.
+	m := DefaultPathModel
+	east := m.OneWay(USEast, PoPUSEast)
+	central := m.OneWay(USCentral, PoPUSEast)
+	west := m.OneWay(USWest, PoPUSEast)
+	if !(east < central && central < west) {
+		t.Errorf("delay ordering broken: east=%v central=%v west=%v", east, central, west)
+	}
+	for _, r := range EURegions {
+		if d := m.OneWay(r, PoPUSEast); d <= west {
+			t.Errorf("%s one-way %v not > US-West %v", r.Name, d, west)
+		}
+	}
+}

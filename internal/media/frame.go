@@ -1,0 +1,166 @@
+// Package media generates the deterministic audiovisual content the paper
+// injected through loopback devices: a low-motion "talking head" feed, a
+// high-motion "tour guide" feed, the periodic-flash feed used for lag
+// measurement (Fig 2), padded variants that keep client UI widgets out of
+// the scored viewport (Fig 13), and speech-like PCM audio.
+//
+// Frames are single-plane 8-bit luma images: every QoE metric the paper
+// uses (PSNR, SSIM, VIFp) is computed on luma, so carrying chroma would
+// only add cost without changing any result.
+package media
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frame is an 8-bit luma image.
+type Frame struct {
+	W, H int
+	Pix  []uint8 // row-major, len == W*H
+}
+
+// NewFrame allocates a zeroed (black) frame.
+func NewFrame(w, h int) *Frame {
+	if w <= 0 || h <= 0 {
+		panic("media: non-positive frame dimensions")
+	}
+	return &Frame{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	g := NewFrame(f.W, f.H)
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// At returns the pixel at (x, y).
+func (f *Frame) At(x, y int) uint8 { return f.Pix[y*f.W+x] }
+
+// Set writes the pixel at (x, y).
+func (f *Frame) Set(x, y int, v uint8) { f.Pix[y*f.W+x] = v }
+
+// Fill sets every pixel to v.
+func (f *Frame) Fill(v uint8) {
+	for i := range f.Pix {
+		f.Pix[i] = v
+	}
+}
+
+// MeanAbsDiff returns the mean absolute pixel difference between two
+// frames of identical geometry — the simulator's motion/complexity
+// measure. It panics on geometry mismatch.
+func MeanAbsDiff(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("media: frame geometry mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	var sum int64
+	for i := range a.Pix {
+		d := int64(a.Pix[i]) - int64(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return float64(sum) / float64(len(a.Pix))
+}
+
+// SpatialDetail returns the mean absolute horizontal+vertical gradient —
+// a cheap proxy for intra-frame coding complexity.
+func (f *Frame) SpatialDetail() float64 {
+	var sum int64
+	var n int64
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			v := int64(f.At(x, y))
+			if x+1 < f.W {
+				d := v - int64(f.At(x+1, y))
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+				n++
+			}
+			if y+1 < f.H {
+				d := v - int64(f.At(x, y+1))
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Crop returns a copy of the rectangle [x0,x0+w) x [y0,y0+h).
+func (f *Frame) Crop(x0, y0, w, h int) *Frame {
+	if x0 < 0 || y0 < 0 || x0+w > f.W || y0+h > f.H {
+		panic("media: crop out of bounds")
+	}
+	g := NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		copy(g.Pix[y*w:(y+1)*w], f.Pix[(y0+y)*f.W+x0:(y0+y)*f.W+x0+w])
+	}
+	return g
+}
+
+// Pad returns a new frame with a uniform border of the given width and
+// luma value around the content (the Fig-13 trick that keeps client UI
+// widgets out of the scored area).
+func (f *Frame) Pad(border int, v uint8) *Frame {
+	g := NewFrame(f.W+2*border, f.H+2*border)
+	g.Fill(v)
+	for y := 0; y < f.H; y++ {
+		copy(g.Pix[(y+border)*g.W+border:(y+border)*g.W+border+f.W], f.Pix[y*f.W:(y+1)*f.W])
+	}
+	return g
+}
+
+// Resize scales the frame to w×h with bilinear interpolation (the
+// recording post-processing step that maps the captured viewport back to
+// the injected resolution).
+func (f *Frame) Resize(w, h int) *Frame {
+	if w == f.W && h == f.H {
+		return f.Clone()
+	}
+	g := NewFrame(w, h)
+	xr := float64(f.W-1) / float64(maxInt(w-1, 1))
+	yr := float64(f.H-1) / float64(maxInt(h-1, 1))
+	for y := 0; y < h; y++ {
+		sy := float64(y) * yr
+		y0 := int(sy)
+		fy := sy - float64(y0)
+		y1 := y0 + 1
+		if y1 >= f.H {
+			y1 = f.H - 1
+		}
+		for x := 0; x < w; x++ {
+			sx := float64(x) * xr
+			x0 := int(sx)
+			fx := sx - float64(x0)
+			x1 := x0 + 1
+			if x1 >= f.W {
+				x1 = f.W - 1
+			}
+			v := (1-fx)*(1-fy)*float64(f.At(x0, y0)) +
+				fx*(1-fy)*float64(f.At(x1, y0)) +
+				(1-fx)*fy*float64(f.At(x0, y1)) +
+				fx*fy*float64(f.At(x1, y1))
+			g.Set(x, y, uint8(math.Round(v)))
+		}
+	}
+	return g
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,294 @@
+package media
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameBasics(t *testing.T) {
+	f := NewFrame(4, 3)
+	if len(f.Pix) != 12 {
+		t.Fatalf("pix len = %d", len(f.Pix))
+	}
+	f.Set(2, 1, 200)
+	if f.At(2, 1) != 200 {
+		t.Error("Set/At broken")
+	}
+	g := f.Clone()
+	g.Set(2, 1, 0)
+	if f.At(2, 1) != 200 {
+		t.Error("Clone shares storage")
+	}
+	f.Fill(7)
+	for _, p := range f.Pix {
+		if p != 7 {
+			t.Fatal("Fill incomplete")
+		}
+	}
+}
+
+func TestNewFramePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewFrame(0, 5)
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	a, b := NewFrame(2, 2), NewFrame(2, 2)
+	b.Fill(10)
+	if d := MeanAbsDiff(a, b); d != 10 {
+		t.Errorf("MAD = %v, want 10", d)
+	}
+	if d := MeanAbsDiff(a, a); d != 0 {
+		t.Errorf("self MAD = %v", d)
+	}
+}
+
+func TestMeanAbsDiffGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MeanAbsDiff(NewFrame(2, 2), NewFrame(3, 2))
+}
+
+func TestCropPadRoundTrip(t *testing.T) {
+	f := NewFrame(8, 6)
+	for i := range f.Pix {
+		f.Pix[i] = uint8(i * 3)
+	}
+	p := f.Pad(4, 16)
+	if p.W != 16 || p.H != 14 {
+		t.Fatalf("padded dims %dx%d", p.W, p.H)
+	}
+	if p.At(0, 0) != 16 {
+		t.Error("border not filled")
+	}
+	back := p.Crop(4, 4, 8, 6)
+	if MeanAbsDiff(f, back) != 0 {
+		t.Error("crop(pad(f)) != f")
+	}
+}
+
+func TestCropOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewFrame(4, 4).Crop(2, 2, 4, 4)
+}
+
+func TestResizeIdentityAndScale(t *testing.T) {
+	f := NewFrame(10, 10)
+	for i := range f.Pix {
+		f.Pix[i] = uint8(i)
+	}
+	same := f.Resize(10, 10)
+	if MeanAbsDiff(f, same) != 0 {
+		t.Error("identity resize changed pixels")
+	}
+	up := f.Resize(20, 20)
+	down := up.Resize(10, 10)
+	if MeanAbsDiff(f, down) > 3 {
+		t.Errorf("up/down resize error = %v", MeanAbsDiff(f, down))
+	}
+}
+
+func TestLowMotionIsLow(t *testing.T) {
+	p := QuickProfile
+	lm := NewLowMotion(p, 1)
+	hm := NewHighMotion(p, 1)
+	lmMAD, hmMAD := avgMotion(lm, 30), avgMotion(hm, 30)
+	if lmMAD >= hmMAD {
+		t.Errorf("low-motion MAD %v >= high-motion MAD %v", lmMAD, hmMAD)
+	}
+	if hmMAD < 5 {
+		t.Errorf("high-motion MAD %v suspiciously small", hmMAD)
+	}
+	if lmMAD > hmMAD/2 {
+		t.Errorf("classes not well separated: %v vs %v", lmMAD, hmMAD)
+	}
+}
+
+func avgMotion(s Source, n int) float64 {
+	prev := s.Next()
+	var sum float64
+	for i := 0; i < n; i++ {
+		f := s.Next()
+		sum += MeanAbsDiff(prev, f)
+		prev = f
+	}
+	return sum / float64(n)
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	for _, class := range []MotionClass{LowMotion, HighMotion} {
+		a := NewSource(class, QuickProfile, 42)
+		b := NewSource(class, QuickProfile, 42)
+		for i := 0; i < 10; i++ {
+			if MeanAbsDiff(a.Next(), b.Next()) != 0 {
+				t.Errorf("%v source not deterministic at frame %d", class, i)
+			}
+		}
+	}
+}
+
+func TestFlashSource(t *testing.T) {
+	p := QuickProfile // 10 fps
+	s := NewFlash(p, 2.0)
+	frames := Record(s, 45)
+	for i, f := range frames {
+		bright := f.SpatialDetail() > 10
+		if IsFlashFrame(p, 2.0, i) != bright {
+			t.Errorf("frame %d: flash=%v bright=%v", i, IsFlashFrame(p, 2.0, i), bright)
+		}
+	}
+	// Exactly 2 flash frames per 20-frame period at 10fps.
+	flashes := 0
+	for i := 0; i < 40; i++ {
+		if IsFlashFrame(p, 2.0, i) {
+			flashes++
+		}
+	}
+	if flashes != 4 {
+		t.Errorf("flash frames in 2 periods = %d, want 4", flashes)
+	}
+}
+
+func TestPaddedSource(t *testing.T) {
+	base := NewLowMotion(QuickProfile, 3)
+	p := NewPadded(base, 8, 0)
+	w, h := p.Dims()
+	if w != QuickProfile.W+16 || h != QuickProfile.H+16 {
+		t.Errorf("padded dims %dx%d", w, h)
+	}
+	f := p.Next()
+	if f.At(0, 0) != 0 {
+		t.Error("border not black")
+	}
+	if p.FPS() != QuickProfile.FPS {
+		t.Error("FPS not forwarded")
+	}
+}
+
+func TestSceneCutsProduceSpikes(t *testing.T) {
+	p := QuickProfile
+	s := NewHighMotion(p, 9)
+	prev := s.Next()
+	cuts := 0
+	var base float64
+	var mads []float64
+	for i := 1; i < p.FPS*13; i++ {
+		f := s.Next()
+		mads = append(mads, MeanAbsDiff(prev, f))
+		prev = f
+	}
+	for _, m := range mads {
+		base += m
+	}
+	base /= float64(len(mads))
+	for _, m := range mads {
+		if m > base*2.0 {
+			cuts++
+		}
+	}
+	if cuts < 2 {
+		t.Errorf("expected >=2 scene-cut spikes in 13s, got %d", cuts)
+	}
+}
+
+func TestSpeechProperties(t *testing.T) {
+	c := NewSpeech(2.0, 5)
+	if c.Rate != DefaultAudioRate {
+		t.Errorf("rate = %d", c.Rate)
+	}
+	if math.Abs(c.Duration()-2.0) > 0.01 {
+		t.Errorf("duration = %v", c.Duration())
+	}
+	r := c.RMS()
+	if r < 0.02 || r > 0.5 {
+		t.Errorf("speech RMS = %v out of plausible range", r)
+	}
+	// Determinism.
+	d := NewSpeech(2.0, 5)
+	for i := range c.Samples {
+		if c.Samples[i] != d.Samples[i] {
+			t.Fatal("speech not deterministic")
+		}
+	}
+	// Contains pauses: some 50ms window with tiny energy.
+	win := c.Rate / 20
+	minRMS := math.Inf(1)
+	for i := 0; i+win < len(c.Samples); i += win {
+		w := c.Slice(i, i+win)
+		if v := w.RMS(); v < minRMS {
+			minRMS = v
+		}
+	}
+	if minRMS > r/3 {
+		t.Errorf("no pauses found: min window RMS %v vs overall %v", minRMS, r)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	c := NewTone(1, 440, 16000)
+	c.Normalize(0.1)
+	if math.Abs(c.RMS()-0.1) > 0.01 {
+		t.Errorf("normalized RMS = %v", c.RMS())
+	}
+	s := NewSilence(1, 16000)
+	s.Normalize(0.5) // must not divide by zero
+	if s.RMS() != 0 {
+		t.Error("silence changed")
+	}
+}
+
+func TestToneAndSliceClone(t *testing.T) {
+	c := NewTone(1, 1000, 8000)
+	if len(c.Samples) != 8000 {
+		t.Errorf("len = %d", len(c.Samples))
+	}
+	s := c.Slice(-5, 4000)
+	if len(s.Samples) != 4000 {
+		t.Errorf("slice len = %d", len(s.Samples))
+	}
+	cl := c.Clone()
+	cl.Samples[0] = 9
+	if c.Samples[0] == 9 {
+		t.Error("Clone shares storage")
+	}
+	if e := c.Slice(5000, 100); len(e.Samples) != 0 {
+		t.Error("inverted slice should be empty")
+	}
+}
+
+// Property: clamp and pad/crop invariants hold for arbitrary geometry.
+func TestPadCropProperty(t *testing.T) {
+	f := func(w8, h8, b8 uint8) bool {
+		w := int(w8%32) + 1
+		h := int(h8%32) + 1
+		b := int(b8 % 16)
+		fr := NewFrame(w, h)
+		for i := range fr.Pix {
+			fr.Pix[i] = uint8(i)
+		}
+		p := fr.Pad(b, 99)
+		back := p.Crop(b, b, w, h)
+		return MeanAbsDiff(fr, back) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMotionClassString(t *testing.T) {
+	if LowMotion.String() != "low-motion" || HighMotion.String() != "high-motion" {
+		t.Error("MotionClass.String broken")
+	}
+}

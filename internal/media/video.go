@@ -1,0 +1,279 @@
+package media
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source produces a deterministic stream of frames at a fixed rate.
+type Source interface {
+	// Next returns the next frame. The returned frame is owned by the
+	// caller (sources never reuse the buffer).
+	Next() *Frame
+	// Dims returns the frame geometry.
+	Dims() (w, h int)
+	// FPS returns the nominal frame rate.
+	FPS() int
+}
+
+// Profile selects the content geometry/rate. The paper used 640x480@30;
+// the quick profile keeps experiment suites fast while preserving every
+// relative result (metrics are resolution-normalized).
+type Profile struct {
+	W, H int
+	FPS  int
+}
+
+var (
+	// PaperProfile is the 640x480 30 fps feed of §4.3.
+	PaperProfile = Profile{W: 640, H: 480, FPS: 30}
+	// QuickProfile is the reduced-cost default for tests and quick runs.
+	QuickProfile = Profile{W: 160, H: 120, FPS: 10}
+)
+
+// MotionClass labels the two content classes of §4.3.
+type MotionClass int
+
+const (
+	LowMotion  MotionClass = iota // single person, stationary background
+	HighMotion                    // tour-guide feed: pans and scene cuts
+)
+
+func (m MotionClass) String() string {
+	if m == LowMotion {
+		return "low-motion"
+	}
+	return "high-motion"
+}
+
+// lowMotionSource renders a stationary "room" with a gently bobbing
+// head-and-shoulders blob and occasional hand gestures: mostly static
+// background, small localized motion — highly compressible.
+type lowMotionSource struct {
+	p   Profile
+	t   int
+	rng *rand.Rand
+	bg  *Frame
+}
+
+// NewLowMotion creates the talking-head feed.
+func NewLowMotion(p Profile, seed int64) Source {
+	s := &lowMotionSource{p: p, rng: rand.New(rand.NewSource(seed))}
+	s.bg = textured(p.W, p.H, 96, 40, s.rng) // mid-gray room with texture
+	return s
+}
+
+func (s *lowMotionSource) Dims() (int, int) { return s.p.W, s.p.H }
+func (s *lowMotionSource) FPS() int         { return s.p.FPS }
+
+func (s *lowMotionSource) Next() *Frame {
+	f := s.bg.Clone()
+	w, h := s.p.W, s.p.H
+	tSec := float64(s.t) / float64(s.p.FPS)
+	// Head: ellipse around center, bobbing a little (~1% of height).
+	cx := float64(w) / 2
+	cy := float64(h)*0.45 + math.Sin(tSec*2*math.Pi*0.5)*float64(h)*0.01
+	rx, ry := float64(w)*0.12, float64(h)*0.2
+	drawEllipse(f, cx, cy, rx, ry, 190)
+	// Shoulders.
+	drawEllipse(f, cx, float64(h)*0.95, float64(w)*0.3, float64(h)*0.25, 150)
+	// Mouth region flickers while "talking" (tiny area).
+	mouth := uint8(120 + 60*math.Sin(tSec*2*math.Pi*3))
+	drawEllipse(f, cx, cy+ry*0.45, rx*0.3, ry*0.1, mouth)
+	// Occasional hand gesture: a bright blob sweeping for ~1s every ~7s.
+	phase := math.Mod(tSec, 7)
+	if phase < 1 {
+		gx := cx + (phase-0.5)*float64(w)*0.3
+		drawEllipse(f, gx, float64(h)*0.8, float64(w)*0.05, float64(h)*0.06, 210)
+	}
+	// Sensor noise.
+	addNoise(f, s.rng, 1.2)
+	s.t++
+	return f
+}
+
+// highMotionSource renders an outdoor pan: a textured world scrolling at
+// a brisk rate, with a hard scene cut every few seconds — poorly
+// compressible, large frame-to-frame differences.
+type highMotionSource struct {
+	p        Profile
+	t        int
+	rng      *rand.Rand
+	world    *Frame // wide panorama we pan across
+	scene    int
+	cutEvery int // frames between scene cuts
+}
+
+// NewHighMotion creates the tour-guide feed.
+func NewHighMotion(p Profile, seed int64) Source {
+	s := &highMotionSource{
+		p:        p,
+		rng:      rand.New(rand.NewSource(seed)),
+		cutEvery: p.FPS * 4,
+	}
+	s.newScene()
+	return s
+}
+
+func (s *highMotionSource) Dims() (int, int) { return s.p.W, s.p.H }
+func (s *highMotionSource) FPS() int         { return s.p.FPS }
+
+func (s *highMotionSource) newScene() {
+	base := uint8(60 + s.rng.Intn(120))
+	s.world = textured(s.p.W*3, s.p.H, base, 70, s.rng)
+	s.scene++
+}
+
+func (s *highMotionSource) Next() *Frame {
+	if s.t > 0 && s.t%s.cutEvery == 0 {
+		s.newScene()
+	}
+	w, h := s.p.W, s.p.H
+	// Pan speed: cross the extra world width over one scene.
+	span := s.world.W - w
+	within := s.t % s.cutEvery
+	off := within * span / s.cutEvery
+	f := s.world.Crop(off, 0, w, h)
+	// A foreground "guide" walking: high-contrast blob moving against pan.
+	tSec := float64(s.t) / float64(s.p.FPS)
+	gx := float64(w) * (0.2 + 0.6*math.Abs(math.Sin(tSec*0.7)))
+	drawEllipse(f, gx, float64(h)*0.7, float64(w)*0.06, float64(h)*0.18, 230)
+	addNoise(f, s.rng, 2.0)
+	s.t++
+	return f
+}
+
+// flashSource is the lag-probe feed: blank frames with a bright image for
+// flashFrames frames once per period (paper: two-second periodicity).
+type flashSource struct {
+	p           Profile
+	t           int
+	periodFr    int
+	flashFrames int
+}
+
+// NewFlash creates the Fig-2 feed. period is in seconds of content time.
+func NewFlash(p Profile, periodSec float64) Source {
+	pf := int(periodSec * float64(p.FPS))
+	if pf < 2 {
+		pf = 2
+	}
+	return &flashSource{p: p, periodFr: pf, flashFrames: 2}
+}
+
+func (s *flashSource) Dims() (int, int) { return s.p.W, s.p.H }
+func (s *flashSource) FPS() int         { return s.p.FPS }
+
+func (s *flashSource) Next() *Frame {
+	f := NewFrame(s.p.W, s.p.H)
+	if s.t%s.periodFr < s.flashFrames {
+		// A high-detail flash image: checkerboard (incompressible burst).
+		for y := 0; y < s.p.H; y++ {
+			for x := 0; x < s.p.W; x++ {
+				if (x/4+y/4)%2 == 0 {
+					f.Set(x, y, 235)
+				}
+			}
+		}
+	}
+	s.t++
+	return f
+}
+
+// IsFlashFrame reports whether the i-th frame of a NewFlash feed with the
+// given parameters carries the flash image.
+func IsFlashFrame(p Profile, periodSec float64, i int) bool {
+	pf := int(periodSec * float64(p.FPS))
+	if pf < 2 {
+		pf = 2
+	}
+	return i%pf < 2
+}
+
+// padded wraps a source, adding the Fig-13 border.
+type padded struct {
+	src    Source
+	border int
+	fill   uint8
+}
+
+// NewPadded wraps src with a border of the given width.
+func NewPadded(src Source, border int, fill uint8) Source {
+	return &padded{src: src, border: border, fill: fill}
+}
+
+func (s *padded) Dims() (int, int) {
+	w, h := s.src.Dims()
+	return w + 2*s.border, h + 2*s.border
+}
+func (s *padded) FPS() int     { return s.src.FPS() }
+func (s *padded) Next() *Frame { return s.src.Next().Pad(s.border, s.fill) }
+
+// NewSource builds a source for a motion class.
+func NewSource(class MotionClass, p Profile, seed int64) Source {
+	if class == LowMotion {
+		return NewLowMotion(p, seed)
+	}
+	return NewHighMotion(p, seed)
+}
+
+// Record captures n frames from a source into a slice (test/QoE helper).
+func Record(src Source, n int) []*Frame {
+	out := make([]*Frame, n)
+	for i := range out {
+		out[i] = src.Next()
+	}
+	return out
+}
+
+// textured builds a frame of smooth low-frequency texture: base luma with
+// sinusoidal variation plus seeded speckle, clamped to [0,255].
+func textured(w, h int, base uint8, amp float64, rng *rand.Rand) *Frame {
+	f := NewFrame(w, h)
+	phix := rng.Float64() * 2 * math.Pi
+	phiy := rng.Float64() * 2 * math.Pi
+	fx := 2 + rng.Float64()*4
+	fy := 2 + rng.Float64()*4
+	for y := 0; y < h; y++ {
+		sy := math.Sin(float64(y)/float64(h)*fy*2*math.Pi + phiy)
+		for x := 0; x < w; x++ {
+			sx := math.Sin(float64(x)/float64(w)*fx*2*math.Pi + phix)
+			v := float64(base) + amp*0.5*(sx+sy)
+			f.Set(x, y, clamp8(v))
+		}
+	}
+	return f
+}
+
+func drawEllipse(f *Frame, cx, cy, rx, ry float64, v uint8) {
+	x0 := int(math.Max(0, cx-rx))
+	x1 := int(math.Min(float64(f.W-1), cx+rx))
+	y0 := int(math.Max(0, cy-ry))
+	y1 := int(math.Min(float64(f.H-1), cy+ry))
+	for y := y0; y <= y1; y++ {
+		dy := (float64(y) - cy) / ry
+		for x := x0; x <= x1; x++ {
+			dx := (float64(x) - cx) / rx
+			if dx*dx+dy*dy <= 1 {
+				f.Set(x, y, v)
+			}
+		}
+	}
+}
+
+func addNoise(f *Frame, rng *rand.Rand, std float64) {
+	for i := range f.Pix {
+		v := float64(f.Pix[i]) + rng.NormFloat64()*std
+		f.Pix[i] = clamp8(v)
+	}
+}
+
+func clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

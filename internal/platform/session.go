@@ -1,0 +1,345 @@
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/simnet"
+)
+
+// envelope carries media between two Meet endpoints, addressed to its
+// final client.
+type envelope struct {
+	final simnet.Addr
+	inner any
+}
+
+// JoinOpts configures one participant's attachment.
+type JoinOpts struct {
+	// Port is the client's local media port (where relayed media is
+	// delivered). Required.
+	Port int
+	// OnPacket receives media delivered to this participant.
+	OnPacket func(*simnet.Packet)
+}
+
+// Attachment is one participant's handle on a session.
+type Attachment struct {
+	sess     *Session
+	node     *simnet.Node
+	port     int
+	sendTo   simnet.Addr
+	ep       *Endpoint // per-client endpoint (Meet) or session relay
+	onPacket func(*simnet.Packet)
+	onTarget []func(float64)
+	lastLoss float64
+	lastGood float64
+	reported bool
+	isHost   bool
+}
+
+// Node returns the participant's node.
+func (a *Attachment) Node() *simnet.Node { return a.node }
+
+// Session returns the session this attachment belongs to.
+func (a *Attachment) Session() *Session { return a.sess }
+
+// Target returns the session's current video bitrate target.
+func (a *Attachment) Target() float64 { return a.sess.targetBps }
+
+// Endpoint returns the service endpoint this participant talks to
+// (nil until Start, or for the remote peer in P2P mode).
+func (a *Attachment) Endpoint() *Endpoint { return a.ep }
+
+// SendAddr returns where this participant transmits media (for probing
+// and trace classification).
+func (a *Attachment) SendAddr() simnet.Addr { return a.sendTo }
+
+// Send transmits one media datagram of the given L7 size into the
+// session. payload is opaque application metadata (an *rtp.Packet).
+func (a *Attachment) Send(l7 int, payload any) {
+	if a.sendTo.Node == "" {
+		panic("platform: Send before Session.Start")
+	}
+	a.node.Send(&simnet.Packet{
+		From:    simnet.Addr{Port: a.port},
+		To:      a.sendTo,
+		Size:    l7,
+		Payload: payload,
+	})
+}
+
+// OnTarget registers a callback fired when the platform changes the
+// session's video bitrate target. It fires immediately with the current
+// target once the session has started.
+func (a *Attachment) OnTarget(f func(bps float64)) {
+	a.onTarget = append(a.onTarget, f)
+	if a.sess.started {
+		f(a.sess.targetBps)
+	}
+}
+
+// ReportReceiverStats feeds one feedback interval's measurements from
+// this participant back to the platform: loss is the fraction of media
+// lost, goodput the received media rate in bits/s.
+func (a *Attachment) ReportReceiverStats(loss, goodput float64) {
+	a.lastLoss = loss
+	a.lastGood = goodput
+	a.reported = true
+}
+
+// Session is one meeting.
+type Session struct {
+	p          *Platform
+	id         int
+	host       *Attachment
+	parts      []*Attachment
+	endpoints  []*Endpoint
+	p2p        bool
+	started    bool
+	targetBps  float64
+	targetCeil float64
+	rateEv     *simnet.Event
+	// fwdClock enforces FIFO forwarding per destination: processing
+	// jitter delays packets but never reorders a flow (as in a real
+	// SFU's per-connection send queue).
+	fwdClock map[*Attachment]time.Time
+}
+
+// CreateSession opens a meeting hosted by hostNode. The host must Join
+// like any other participant before Start.
+func (p *Platform) CreateSession() *Session {
+	p.sessions++
+	return &Session{p: p, id: p.sessions, fwdClock: make(map[*Attachment]time.Time)}
+}
+
+// ID returns the session's ordinal (1-based) on its platform.
+func (s *Session) ID() int { return s.id }
+
+// Join attaches a participant. The first participant to join is the
+// meeting host. Join binds opts.Port on the node.
+func (s *Session) Join(node *simnet.Node, opts JoinOpts) *Attachment {
+	if s.started {
+		panic("platform: Join after Start")
+	}
+	if opts.Port == 0 {
+		panic("platform: JoinOpts.Port required")
+	}
+	a := &Attachment{
+		sess: s, node: node, port: opts.Port,
+		onPacket: opts.OnPacket,
+		isHost:   len(s.parts) == 0,
+	}
+	if a.isHost {
+		s.host = a
+	}
+	node.Bind(opts.Port, func(pkt *simnet.Packet) {
+		if a.onPacket != nil {
+			a.onPacket(pkt)
+		}
+	})
+	s.parts = append(s.parts, a)
+	return a
+}
+
+// N returns the participant count.
+func (s *Session) N() int { return len(s.parts) }
+
+// P2P reports whether the session runs peer-to-peer.
+func (s *Session) P2P() bool { return s.p2p }
+
+// Endpoints returns the service endpoints provisioned for this session.
+func (s *Session) Endpoints() []*Endpoint { return s.endpoints }
+
+// TargetBps returns the current video bitrate target.
+func (s *Session) TargetBps() float64 { return s.targetBps }
+
+// AudioBps returns the platform's audio rate.
+func (s *Session) AudioBps() float64 { return s.p.cfg.AudioBps }
+
+// Start wires the media topology and begins rate control. All
+// participants must have joined.
+func (s *Session) Start() {
+	if s.started {
+		panic("platform: double Start")
+	}
+	if len(s.parts) < 2 {
+		panic("platform: session needs at least two participants")
+	}
+	s.started = true
+	cfg := s.p.cfg
+	s.p2p = cfg.P2PWhenPair && len(s.parts) == 2
+
+	switch {
+	case s.p2p:
+		// Direct streaming on ephemeral ports: no service endpoint.
+		a, b := s.parts[0], s.parts[1]
+		a.sendTo = simnet.Addr{Node: b.node.Name(), Port: b.port}
+		b.sendTo = simnet.Addr{Node: a.node.Name(), Port: a.port}
+
+	case cfg.PerClientEndpoints:
+		// Meet: one endpoint per client; endpoints relay between each
+		// other.
+		for _, a := range s.parts {
+			ep := s.p.clientEndpoint(a.node)
+			a.ep = ep
+			a.sendTo = ep.Addr(cfg.MediaPort)
+			s.addEndpoint(ep)
+		}
+		for _, ep := range s.endpoints {
+			s.wireEndpoint(ep)
+		}
+
+	default:
+		// Zoom/Webex: a single relay for the whole session.
+		ep := s.p.sessionEndpoint(s.host.node.Region())
+		for _, a := range s.parts {
+			a.ep = ep
+			a.sendTo = ep.Addr(cfg.MediaPort)
+		}
+		s.addEndpoint(ep)
+		s.wireEndpoint(ep)
+	}
+
+	s.targetBps = cfg.Policy.InitialTarget(len(s.parts), s.p2p, s.p.rng)
+	// Recovery probing never exceeds the session type's own target.
+	s.targetCeil = s.targetBps * 1.05
+	for _, a := range s.parts {
+		for _, f := range a.onTarget {
+			f(s.targetBps)
+		}
+	}
+	// Rate-control feedback loop at 1 Hz.
+	s.rateEv = s.p.sim.Every(time.Second, s.rateTick)
+}
+
+func (s *Session) addEndpoint(ep *Endpoint) {
+	for _, e := range s.endpoints {
+		if e == ep {
+			return
+		}
+	}
+	s.endpoints = append(s.endpoints, ep)
+}
+
+// wireEndpoint installs the forwarding handler (idempotent per session;
+// rebinding replaces any previous session's handler, matching how a media
+// server reassigns capacity).
+func (s *Session) wireEndpoint(ep *Endpoint) {
+	port := s.p.cfg.MediaPort
+	s.p.respondToProbes(ep, func(pkt *simnet.Packet) {
+		if env, ok := pkt.Payload.(envelope); ok {
+			// Second hop (Meet): deliver to the final client.
+			dst := s.attachmentFor(env.final.Node)
+			s.p.sim.At(s.forwardAt(dst), func() {
+				ep.Node.Send(&simnet.Packet{
+					From:    simnet.Addr{Port: port},
+					To:      env.final,
+					Size:    pkt.Size,
+					Payload: env.inner,
+				})
+			})
+			return
+		}
+		// Media from one of this endpoint's clients: fan out.
+		src := pkt.From
+		for _, dst := range s.parts {
+			if dst.node.Name() == src.Node {
+				continue
+			}
+			dst := dst
+			final := simnet.Addr{Node: dst.node.Name(), Port: dst.port}
+			s.p.sim.At(s.forwardAt(dst), func() {
+				if dst.ep != nil && dst.ep != ep {
+					// Relay across PoPs to the receiver's endpoint.
+					ep.Node.Send(&simnet.Packet{
+						From:    simnet.Addr{Port: port},
+						To:      dst.ep.Addr(port),
+						Size:    pkt.Size,
+						Payload: envelope{final: final, inner: pkt.Payload},
+					})
+					return
+				}
+				ep.Node.Send(&simnet.Packet{
+					From:    simnet.Addr{Port: port},
+					To:      final,
+					Size:    pkt.Size,
+					Payload: pkt.Payload,
+				})
+			})
+		}
+	})
+}
+
+// forwardAt samples this hop's processing delay and clamps it so that
+// forwarding toward one destination never reorders.
+func (s *Session) forwardAt(dst *Attachment) time.Time {
+	at := s.p.sim.Now().Add(s.p.procDelay())
+	if dst != nil {
+		if last, ok := s.fwdClock[dst]; ok && !at.After(last) {
+			at = last.Add(time.Microsecond)
+		}
+		s.fwdClock[dst] = at
+	}
+	return at
+}
+
+// attachmentFor finds the participant on the given node, or nil.
+func (s *Session) attachmentFor(node string) *Attachment {
+	for _, a := range s.parts {
+		if a.node.Name() == node {
+			return a
+		}
+	}
+	return nil
+}
+
+// rateTick aggregates receiver feedback and lets the policy adjust the
+// sender target.
+func (s *Session) rateTick() {
+	var worstLoss, minGood float64
+	seen := false
+	for _, a := range s.parts {
+		if !a.reported {
+			continue
+		}
+		if !seen || a.lastLoss > worstLoss {
+			worstLoss = a.lastLoss
+		}
+		if !seen || a.lastGood < minGood {
+			minGood = a.lastGood
+		}
+		seen = true
+	}
+	if !seen {
+		return
+	}
+	next := s.p.cfg.Policy.Adjust(s.targetBps, worstLoss, minGood)
+	if next > s.targetCeil {
+		next = s.targetCeil
+	}
+	if next == s.targetBps {
+		return
+	}
+	s.targetBps = next
+	for _, a := range s.parts {
+		for _, f := range a.onTarget {
+			f(next)
+		}
+	}
+}
+
+// End stops rate control and releases the session's endpoint handlers.
+// Participant ports remain bound (clients own them).
+func (s *Session) End() {
+	if s.rateEv != nil {
+		s.rateEv.Cancel()
+	}
+	for _, ep := range s.endpoints {
+		ep.Node.Unbind(s.p.cfg.MediaPort)
+	}
+}
+
+func (s *Session) String() string {
+	return fmt.Sprintf("%s session %d (n=%d, p2p=%v)", s.p.cfg.Kind, s.id, len(s.parts), s.p2p)
+}

@@ -1,0 +1,122 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/geo"
+	"github.com/vcabench/vcabench/internal/simnet"
+)
+
+func testNet(seed int64) (*simnet.Sim, *simnet.Network) {
+	s := simnet.NewSim(seed)
+	return s, simnet.NewNetwork(s, simnet.NetworkConfig{})
+}
+
+func TestProbeMeasuresRTT(t *testing.T) {
+	sim, net := testNet(1)
+	a := net.AddNode(simnet.NodeConfig{Name: "client", Region: geo.USWest})
+	b := net.AddNode(simnet.NodeConfig{Name: "server", Region: geo.USEast})
+	Respond(b, 8801, nil)
+	pr := NewProber(sim, a)
+	var got []time.Duration
+	pr.Run(simnet.Addr{Node: "server", Port: 8801}, 10, 100*time.Millisecond, func(r []time.Duration) { got = r })
+	sim.Run()
+	if len(got) != 10 {
+		t.Fatalf("got %d RTTs", len(got))
+	}
+	model := net.PathModel().RTT(geo.USWest, geo.USEast)
+	for _, r := range got {
+		if r < model || r > model+10*time.Millisecond {
+			t.Errorf("RTT %v vs model %v", r, model)
+		}
+	}
+	if pr.Lost() != 0 {
+		t.Errorf("lost = %d", pr.Lost())
+	}
+}
+
+func TestProbeTimeoutOnSilentTarget(t *testing.T) {
+	sim, net := testNet(2)
+	a := net.AddNode(simnet.NodeConfig{Name: "client", Region: geo.USWest})
+	// Target exists but nothing listens on the port (ICMP-blocked style).
+	net.AddNode(simnet.NodeConfig{Name: "server", Region: geo.USEast})
+	pr := NewProber(sim, a)
+	done := false
+	pr.Run(simnet.Addr{Node: "server", Port: 8801}, 3, 10*time.Millisecond, func(r []time.Duration) {
+		done = true
+		if len(r) != 0 {
+			t.Errorf("expected no RTTs, got %d", len(r))
+		}
+	})
+	sim.Run()
+	if !done {
+		t.Fatal("done callback never fired")
+	}
+	if pr.Lost() != 3 {
+		t.Errorf("lost = %d, want 3", pr.Lost())
+	}
+}
+
+func TestProbeUnderLoss(t *testing.T) {
+	sim, net := testNet(3)
+	a := net.AddNode(simnet.NodeConfig{Name: "client", Region: geo.USWest, LossProb: 0.4})
+	b := net.AddNode(simnet.NodeConfig{Name: "server", Region: geo.USEast})
+	Respond(b, 9000, nil)
+	pr := NewProber(sim, a)
+	var got []time.Duration
+	pr.Run(simnet.Addr{Node: "server", Port: 9000}, 50, 50*time.Millisecond, func(r []time.Duration) { got = r })
+	sim.Run()
+	if len(got)+pr.Lost() != 50 {
+		t.Errorf("conservation: %d replies + %d lost != 50", len(got), pr.Lost())
+	}
+	if pr.Lost() == 0 {
+		t.Error("expected some losses at 40% reply loss")
+	}
+}
+
+func TestProbeZeroCount(t *testing.T) {
+	sim, net := testNet(4)
+	a := net.AddNode(simnet.NodeConfig{Name: "client", Region: geo.USWest})
+	pr := NewProber(sim, a)
+	called := false
+	pr.Run(simnet.Addr{Node: "client", Port: 1}, 0, time.Second, func(r []time.Duration) {
+		called = true
+		if r != nil {
+			t.Errorf("non-nil results: %v", r)
+		}
+	})
+	sim.Run()
+	if !called {
+		t.Error("done not called for zero probes")
+	}
+}
+
+func TestRespondPassesNonPings(t *testing.T) {
+	sim, net := testNet(5)
+	a := net.AddNode(simnet.NodeConfig{Name: "a", Region: geo.USEast})
+	b := net.AddNode(simnet.NodeConfig{Name: "b", Region: geo.USEast2})
+	got := 0
+	Respond(b, 8801, func(pkt *simnet.Packet) { got++ })
+	a.Send(&simnet.Packet{To: simnet.Addr{Node: "b", Port: 8801}, Size: 100, Payload: "media"})
+	a.Send(&simnet.Packet{From: simnet.Addr{Port: ProbePort}, To: simnet.Addr{Node: "b", Port: 8801}, Size: ProbeSize, Payload: Ping{ID: 1}})
+	sim.Run()
+	if got != 1 {
+		t.Errorf("next handler saw %d packets, want 1 (media only)", got)
+	}
+}
+
+func TestCloseUnbinds(t *testing.T) {
+	sim, net := testNet(6)
+	a := net.AddNode(simnet.NodeConfig{Name: "a", Region: geo.USEast})
+	b := net.AddNode(simnet.NodeConfig{Name: "b", Region: geo.USEast2})
+	Respond(b, 8801, nil)
+	pr := NewProber(sim, a)
+	pr.Close()
+	// A reply to a closed prober is silently dropped (no handler).
+	a.Send(&simnet.Packet{From: simnet.Addr{Port: ProbePort}, To: simnet.Addr{Node: "b", Port: 8801}, Size: ProbeSize, Payload: Ping{ID: 9}})
+	sim.Run()
+	if len(pr.Results()) != 0 {
+		t.Error("closed prober collected results")
+	}
+}

@@ -1,0 +1,140 @@
+package qoe
+
+import (
+	"math"
+
+	"github.com/vcabench/vcabench/internal/media"
+)
+
+// AlignFrames finds the shift (in frames) of rec relative to ref that
+// maximizes mean SSIM, searching shifts in [-maxShift, maxShift]. A
+// positive result means rec starts later than ref by that many frames.
+// This is the paper's recording-trim step ("synchronize the start/end
+// time ... in a way that per-frame SSIM similarity is maximized").
+func AlignFrames(ref, rec []*media.Frame, maxShift int) int {
+	if len(ref) == 0 || len(rec) == 0 {
+		return 0
+	}
+	if maxShift < 0 {
+		maxShift = -maxShift
+	}
+	best := 0
+	bestScore := math.Inf(-1)
+	for shift := -maxShift; shift <= maxShift; shift++ {
+		score := alignScore(ref, rec, shift)
+		if score > bestScore {
+			bestScore = score
+			best = shift
+		}
+	}
+	return best
+}
+
+// alignScore samples up to 12 overlapping frame pairs at the given shift.
+func alignScore(ref, rec []*media.Frame, shift int) float64 {
+	lo := 0
+	if shift < 0 {
+		lo = -shift
+	}
+	hi := len(ref)
+	if n := len(rec) - shift; n < hi {
+		hi = n
+	}
+	if hi-lo <= 0 {
+		return math.Inf(-1)
+	}
+	step := (hi - lo + 11) / 12
+	if step < 1 {
+		step = 1
+	}
+	var sum float64
+	n := 0
+	for i := lo; i < hi; i += step {
+		a, b := ref[i], rec[i+shift]
+		if a == nil || b == nil {
+			continue
+		}
+		sum += SSIM(a, b)
+		n++
+	}
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	return sum / float64(n)
+}
+
+// AlignAudio returns the lag (in samples) of rec relative to ref that
+// maximizes normalized cross-correlation of their energy envelopes — the
+// audio-offset-finder step of the paper's audio pipeline. Positive lag
+// means rec is delayed.
+func AlignAudio(ref, rec *media.AudioClip, maxLagSamples int) int {
+	if len(ref.Samples) == 0 || len(rec.Samples) == 0 {
+		return 0
+	}
+	// Envelope at 100 Hz: mean |x| per hop.
+	hop := ref.Rate / 100
+	if hop < 1 {
+		hop = 1
+	}
+	er := envelope(ref.Samples, hop)
+	ed := envelope(rec.Samples, hop)
+	maxLagHops := maxLagSamples / hop
+	if maxLagHops < 1 {
+		maxLagHops = 1
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for lag := -maxLagHops; lag <= maxLagHops; lag++ {
+		s := xcorr(er, ed, lag)
+		if s > bestScore {
+			bestScore = s
+			best = lag
+		}
+	}
+	return best * hop
+}
+
+func envelope(x []float64, hop int) []float64 {
+	n := len(x) / hop
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := i * hop; j < (i+1)*hop; j++ {
+			s += math.Abs(x[j])
+		}
+		out[i] = s / float64(hop)
+	}
+	return out
+}
+
+// xcorr computes the normalized correlation of a and b at the given lag
+// of b relative to a.
+func xcorr(a, b []float64, lag int) float64 {
+	lo := 0
+	if lag < 0 {
+		lo = -lag
+	}
+	hi := len(a)
+	if n := len(b) - lag; n < hi {
+		hi = n
+	}
+	if hi-lo < 4 {
+		return math.Inf(-1)
+	}
+	var sa, sb, saa, sbb, sab float64
+	n := float64(hi - lo)
+	for i := lo; i < hi; i++ {
+		x, y := a[i], b[i+lag]
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	cov := sab/n - sa/n*sb/n
+	va := saa/n - sa/n*sa/n
+	vb := sbb/n - sb/n*sb/n
+	if va <= 0 || vb <= 0 {
+		return math.Inf(-1)
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,109 @@
+// Package qoe implements the objective quality metrics the paper computes
+// with VQMT and ViSQOL: PSNR, SSIM (Wang et al. 2004) and pixel-domain
+// VIF (Sheikh & Bovik 2006) for video, and a spectrogram-similarity
+// MOS-LQO estimator for audio, plus the temporal alignment used to
+// synchronize recordings with the injected originals.
+package qoe
+
+import (
+	"math"
+
+	"github.com/vcabench/vcabench/internal/media"
+)
+
+// fimg is a float64 grayscale image used by the metric pipelines.
+type fimg struct {
+	w, h int
+	v    []float64
+}
+
+func newFimg(w, h int) *fimg { return &fimg{w: w, h: h, v: make([]float64, w*h)} }
+
+func fromFrame(f *media.Frame) *fimg {
+	im := newFimg(f.W, f.H)
+	for i, p := range f.Pix {
+		im.v[i] = float64(p)
+	}
+	return im
+}
+
+func (im *fimg) at(x, y int) float64 { return im.v[y*im.w+x] }
+
+// gaussianKernel returns a normalized 1-D Gaussian of the given length.
+func gaussianKernel(n int, sigma float64) []float64 {
+	k := make([]float64, n)
+	mid := float64(n-1) / 2
+	var sum float64
+	for i := range k {
+		d := float64(i) - mid
+		k[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// convValid applies a separable kernel and returns only the fully-covered
+// region, shrinking the image by len(k)-1 in each dimension.
+func (im *fimg) convValid(k []float64) *fimg {
+	n := len(k)
+	outW := im.w - n + 1
+	outH := im.h - n + 1
+	if outW <= 0 || outH <= 0 {
+		return newFimg(0, 0)
+	}
+	// Horizontal pass.
+	tmp := newFimg(outW, im.h)
+	for y := 0; y < im.h; y++ {
+		row := im.v[y*im.w : (y+1)*im.w]
+		out := tmp.v[y*outW : (y+1)*outW]
+		for x := 0; x < outW; x++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += row[x+i] * k[i]
+			}
+			out[x] = s
+		}
+	}
+	// Vertical pass.
+	out := newFimg(outW, outH)
+	for y := 0; y < outH; y++ {
+		dst := out.v[y*outW : (y+1)*outW]
+		for x := 0; x < outW; x++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += tmp.v[(y+i)*outW+x] * k[i]
+			}
+			dst[x] = s
+		}
+	}
+	return out
+}
+
+// mul returns the element-wise product of two same-sized images.
+func mul(a, b *fimg) *fimg {
+	out := newFimg(a.w, a.h)
+	for i := range out.v {
+		out.v[i] = a.v[i] * b.v[i]
+	}
+	return out
+}
+
+// downsample2 halves the image by 2x2 averaging.
+func (im *fimg) downsample2() *fimg {
+	w, h := im.w/2, im.h/2
+	if w == 0 || h == 0 {
+		return newFimg(0, 0)
+	}
+	out := newFimg(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := im.at(2*x, 2*y) + im.at(2*x+1, 2*y) +
+				im.at(2*x, 2*y+1) + im.at(2*x+1, 2*y+1)
+			out.v[y*w+x] = s / 4
+		}
+	}
+	return out
+}

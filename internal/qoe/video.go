@@ -1,0 +1,240 @@
+package qoe
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/vcabench/vcabench/internal/media"
+)
+
+// PSNRCap bounds PSNR for identical images so that averaging over frames
+// stays finite (the common convention in quality tooling).
+const PSNRCap = 60.0
+
+// PSNR returns the peak signal-to-noise ratio in dB between two frames of
+// identical geometry.
+func PSNR(ref, dist *media.Frame) float64 {
+	mustMatch(ref, dist)
+	var se float64
+	for i := range ref.Pix {
+		d := float64(ref.Pix[i]) - float64(dist.Pix[i])
+		se += d * d
+	}
+	mse := se / float64(len(ref.Pix))
+	if mse == 0 {
+		return PSNRCap
+	}
+	v := 10 * math.Log10(255*255/mse)
+	if v > PSNRCap {
+		v = PSNRCap
+	}
+	return v
+}
+
+// SSIM constants (Wang et al. 2004): 11x11 Gaussian window, sigma 1.5.
+const (
+	ssimWindow = 11
+	ssimSigma  = 1.5
+	ssimK1     = 0.01
+	ssimK2     = 0.03
+	ssimL      = 255
+)
+
+// SSIM returns the mean structural similarity index between two frames.
+// The result is in [-1, 1]; 1 means identical.
+func SSIM(ref, dist *media.Frame) float64 {
+	mustMatch(ref, dist)
+	if ref.W < ssimWindow || ref.H < ssimWindow {
+		// Degenerate tiny frames: fall back to a global SSIM.
+		return globalSSIM(ref, dist)
+	}
+	k := gaussianKernel(ssimWindow, ssimSigma)
+	x := fromFrame(ref)
+	y := fromFrame(dist)
+	mux := x.convValid(k)
+	muy := y.convValid(k)
+	sxx := mul(x, x).convValid(k)
+	syy := mul(y, y).convValid(k)
+	sxy := mul(x, y).convValid(k)
+
+	c1 := (ssimK1 * ssimL) * (ssimK1 * ssimL)
+	c2 := (ssimK2 * ssimL) * (ssimK2 * ssimL)
+	var sum float64
+	for i := range mux.v {
+		mx, my := mux.v[i], muy.v[i]
+		vx := sxx.v[i] - mx*mx
+		vy := syy.v[i] - my*my
+		cxy := sxy.v[i] - mx*my
+		sum += ((2*mx*my + c1) * (2*cxy + c2)) /
+			((mx*mx + my*my + c1) * (vx + vy + c2))
+	}
+	return sum / float64(len(mux.v))
+}
+
+func globalSSIM(ref, dist *media.Frame) float64 {
+	var mx, my float64
+	n := float64(len(ref.Pix))
+	for i := range ref.Pix {
+		mx += float64(ref.Pix[i])
+		my += float64(dist.Pix[i])
+	}
+	mx /= n
+	my /= n
+	var vx, vy, cxy float64
+	for i := range ref.Pix {
+		dx := float64(ref.Pix[i]) - mx
+		dy := float64(dist.Pix[i]) - my
+		vx += dx * dx
+		vy += dy * dy
+		cxy += dx * dy
+	}
+	vx /= n
+	vy /= n
+	cxy /= n
+	c1 := (ssimK1 * ssimL) * (ssimK1 * ssimL)
+	c2 := (ssimK2 * ssimL) * (ssimK2 * ssimL)
+	return ((2*mx*my + c1) * (2*cxy + c2)) / ((mx*mx + my*my + c1) * (vx + vy + c2))
+}
+
+// vifSigmaNsq is the visual noise variance of the VIF model.
+const vifSigmaNsq = 2.0
+
+// VIFP returns the pixel-domain Visual Information Fidelity between two
+// frames, following the published four-scale pixel-domain approximation.
+// 1 means identical; heavier distortion drives it toward 0.
+func VIFP(ref, dist *media.Frame) float64 {
+	mustMatch(ref, dist)
+	x := fromFrame(ref)
+	y := fromFrame(dist)
+	var num, den float64
+	for scale := 1; scale <= 4; scale++ {
+		n := 1<<(5-scale) + 1 // 17, 9, 5, 3
+		k := gaussianKernel(n, float64(n)/5)
+		if scale > 1 {
+			x = x.convValid(k).downsample2()
+			y = y.convValid(k).downsample2()
+			if x.w < n || x.h < n {
+				break
+			}
+		}
+		mux := x.convValid(k)
+		muy := y.convValid(k)
+		sxx := mul(x, x).convValid(k)
+		syy := mul(y, y).convValid(k)
+		sxy := mul(x, y).convValid(k)
+		const eps = 1e-10
+		for i := range mux.v {
+			mx, my := mux.v[i], muy.v[i]
+			vx := sxx.v[i] - mx*mx
+			vy := syy.v[i] - my*my
+			cxy := sxy.v[i] - mx*my
+			if vx < 0 {
+				vx = 0
+			}
+			if vy < 0 {
+				vy = 0
+			}
+			g := cxy / (vx + eps)
+			svsq := vy - g*cxy
+			if vx < eps {
+				g = 0
+				svsq = vy
+			}
+			if vy < eps {
+				g = 0
+				svsq = 0
+			}
+			if g < 0 {
+				svsq = vy
+				g = 0
+			}
+			if svsq < eps {
+				svsq = eps
+			}
+			num += math.Log10(1 + g*g*vx/(svsq+vifSigmaNsq))
+			den += math.Log10(1 + vx/vifSigmaNsq)
+		}
+	}
+	if den == 0 {
+		return 1
+	}
+	v := num / den
+	if v > 1 {
+		v = 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// VideoResult aggregates the three metrics over a frame sequence.
+type VideoResult struct {
+	PSNR, SSIM, VIFP float64
+	Frames           int
+	// FreezeRatio is the fraction of display slots that repeated the
+	// previous slot's frame or showed nothing. (The first appearance of a
+	// stale frame is indistinguishable from fresh content without ground
+	// truth, so a permanent freeze over n slots scores (n-1)/n.)
+	FreezeRatio float64
+}
+
+func (r VideoResult) String() string {
+	return fmt.Sprintf("PSNR=%.2fdB SSIM=%.4f VIFp=%.4f (n=%d, freeze=%.1f%%)",
+		r.PSNR, r.SSIM, r.VIFP, r.Frames, r.FreezeRatio*100)
+}
+
+// CompareVideo scores a displayed sequence against its reference. Both
+// slices index display slots; displayed[i] == nil means nothing was ever
+// shown for that slot (scored as a black frame, matching how recordings
+// of a dead stream score). stride samples every stride-th slot for speed
+// (1 = every frame).
+func CompareVideo(ref, displayed []*media.Frame, stride int) VideoResult {
+	if len(ref) != len(displayed) {
+		panic(fmt.Sprintf("qoe: sequence lengths differ: %d vs %d", len(ref), len(displayed)))
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	var res VideoResult
+	var black *media.Frame
+	freezes := 0
+	scored := 0
+	var prevShown *media.Frame
+	for i := 0; i < len(ref); i++ {
+		shown := displayed[i]
+		if shown == prevShown || shown == nil {
+			freezes++
+		}
+		prevShown = shown
+		if i%stride != 0 {
+			continue
+		}
+		if shown == nil {
+			if black == nil {
+				black = media.NewFrame(ref[i].W, ref[i].H)
+			}
+			shown = black
+		}
+		res.PSNR += PSNR(ref[i], shown)
+		res.SSIM += SSIM(ref[i], shown)
+		res.VIFP += VIFP(ref[i], shown)
+		scored++
+	}
+	if scored > 0 {
+		res.PSNR /= float64(scored)
+		res.SSIM /= float64(scored)
+		res.VIFP /= float64(scored)
+	}
+	res.Frames = scored
+	if len(ref) > 0 {
+		res.FreezeRatio = float64(freezes) / float64(len(ref))
+	}
+	return res
+}
+
+func mustMatch(a, b *media.Frame) {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("qoe: frame geometry mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+}

@@ -1,0 +1,193 @@
+// Package realnet is a real-socket counterpart to the simulated
+// transport: a UDP fan-out relay (one Zoom/Webex-style service endpoint)
+// plus a minimal client, both on net.UDPConn. It exists to demonstrate
+// that the harness's measurement pipeline — packet capture, burst
+// detection, lag matching — runs unchanged against genuine network I/O;
+// examples/realudp drives a session over the loopback interface with
+// configurable artificial forwarding delay standing in for propagation.
+package realnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire format: 1-byte message type followed by payload.
+const (
+	msgJoin = 'J'
+	msgData = 'D'
+)
+
+// MaxDatagram bounds relayed packet sizes.
+const MaxDatagram = 2048
+
+// Relay is a single-session fan-out media server on a real UDP socket.
+type Relay struct {
+	conn  *net.UDPConn
+	delay time.Duration
+
+	mu      sync.Mutex
+	members map[string]*net.UDPAddr
+	closed  bool
+
+	wg sync.WaitGroup
+	// Forwarded counts datagrams fanned out (for tests/metrics).
+	forwarded int64
+}
+
+// ListenRelay starts a relay on addr (e.g. "127.0.0.1:0"). Each forwarded
+// datagram is artificially delayed by delay, standing in for one-way
+// propagation to the receiver.
+func ListenRelay(addr string, delay time.Duration) (*Relay, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("realnet: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("realnet: listen: %w", err)
+	}
+	r := &Relay{
+		conn:    conn,
+		delay:   delay,
+		members: make(map[string]*net.UDPAddr),
+	}
+	r.wg.Add(1)
+	go r.serve()
+	return r, nil
+}
+
+// Addr returns the relay's bound address.
+func (r *Relay) Addr() *net.UDPAddr { return r.conn.LocalAddr().(*net.UDPAddr) }
+
+// Forwarded returns the number of datagrams fanned out so far.
+func (r *Relay) Forwarded() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.forwarded
+}
+
+func (r *Relay) serve() {
+	defer r.wg.Done()
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, from, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		if n == 0 {
+			continue
+		}
+		switch buf[0] {
+		case msgJoin:
+			r.mu.Lock()
+			r.members[from.String()] = from
+			r.mu.Unlock()
+		case msgData:
+			pkt := make([]byte, n)
+			copy(pkt, buf[:n])
+			r.mu.Lock()
+			var dests []*net.UDPAddr
+			for k, m := range r.members {
+				if k != from.String() {
+					dests = append(dests, m)
+				}
+			}
+			r.forwarded += int64(len(dests))
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return
+			}
+			for _, d := range dests {
+				d := d
+				if r.delay > 0 {
+					time.AfterFunc(r.delay, func() { r.conn.WriteToUDP(pkt, d) })
+				} else {
+					r.conn.WriteToUDP(pkt, d)
+				}
+			}
+		}
+	}
+}
+
+// Close shuts the relay down.
+func (r *Relay) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.conn.Close()
+	r.wg.Wait()
+}
+
+// Client is a minimal relay participant.
+type Client struct {
+	conn  *net.UDPConn
+	relay *net.UDPAddr
+}
+
+// Dial creates a client socket bound to an ephemeral local port.
+func Dial(relay *net.UDPAddr) (*Client, error) {
+	conn, err := net.DialUDP("udp", nil, relay)
+	if err != nil {
+		return nil, fmt.Errorf("realnet: dial: %w", err)
+	}
+	return &Client{conn: conn, relay: relay}, nil
+}
+
+// Join registers the client with the relay.
+func (c *Client) Join() error {
+	_, err := c.conn.Write([]byte{msgJoin})
+	return err
+}
+
+// Send transmits one data packet: an 8-byte big-endian send timestamp
+// (UnixNano) followed by the payload, so receivers can compute streaming
+// lag exactly as the paper does with synchronized clocks.
+func (c *Client) Send(payload []byte) error {
+	buf := make([]byte, 1+8+len(payload))
+	buf[0] = msgData
+	binary.BigEndian.PutUint64(buf[1:9], uint64(time.Now().UnixNano()))
+	copy(buf[9:], payload)
+	_, err := c.conn.Write(buf)
+	return err
+}
+
+// ErrTimeout marks a Recv deadline expiry.
+var ErrTimeout = errors.New("realnet: receive timeout")
+
+// Recv blocks for one data packet, returning its payload and the
+// sender-stamped one-way lag.
+func (c *Client) Recv(timeout time.Duration) (payload []byte, lag time.Duration, err error) {
+	if err := c.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, 0, err
+	}
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return nil, 0, ErrTimeout
+			}
+			return nil, 0, err
+		}
+		if n < 9 || buf[0] != msgData {
+			continue
+		}
+		sentAt := time.Unix(0, int64(binary.BigEndian.Uint64(buf[1:9])))
+		out := make([]byte, n-9)
+		copy(out, buf[9:n])
+		return out, time.Since(sentAt), nil
+	}
+}
+
+// LocalAddr returns the client's bound address.
+func (c *Client) LocalAddr() *net.UDPAddr { return c.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close releases the socket.
+func (c *Client) Close() { c.conn.Close() }

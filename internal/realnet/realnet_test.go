@@ -1,0 +1,147 @@
+package realnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRelayFanOut(t *testing.T) {
+	r, err := ListenRelay("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	a, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Join(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the relay a moment to register both members.
+	time.Sleep(50 * time.Millisecond)
+
+	if err := a.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	payload, lag, err := b.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "hello" {
+		t.Errorf("payload = %q", payload)
+	}
+	if lag < 0 || lag > time.Second {
+		t.Errorf("lag = %v", lag)
+	}
+	if r.Forwarded() != 1 {
+		t.Errorf("forwarded = %d", r.Forwarded())
+	}
+}
+
+func TestRelayDoesNotEcho(t *testing.T) {
+	r, err := ListenRelay("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	a, _ := Dial(r.Addr())
+	defer a.Close()
+	a.Join()
+	time.Sleep(20 * time.Millisecond)
+	a.Send([]byte("self"))
+	if _, _, err := a.Recv(200 * time.Millisecond); err != ErrTimeout {
+		t.Errorf("sender heard its own packet: err=%v", err)
+	}
+}
+
+func TestArtificialDelay(t *testing.T) {
+	const delay = 60 * time.Millisecond
+	r, err := ListenRelay("127.0.0.1:0", delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	a, _ := Dial(r.Addr())
+	defer a.Close()
+	b, _ := Dial(r.Addr())
+	defer b.Close()
+	a.Join()
+	b.Join()
+	time.Sleep(30 * time.Millisecond)
+
+	a.Send([]byte("x"))
+	_, lag, err := b.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag < delay {
+		t.Errorf("lag %v < configured delay %v", lag, delay)
+	}
+}
+
+func TestMultipleReceivers(t *testing.T) {
+	r, err := ListenRelay("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sender, _ := Dial(r.Addr())
+	defer sender.Close()
+	sender.Join()
+	var recvs []*Client
+	for i := 0; i < 3; i++ {
+		c, err := Dial(r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.Join()
+		recvs = append(recvs, c)
+	}
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if err := sender.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ci, c := range recvs {
+		for i := 0; i < 5; i++ {
+			payload, _, err := c.Recv(2 * time.Second)
+			if err != nil {
+				t.Fatalf("receiver %d packet %d: %v", ci, i, err)
+			}
+			if payload[0] != byte(i) {
+				t.Errorf("receiver %d got %d, want %d", ci, payload[0], i)
+			}
+		}
+	}
+}
+
+func TestCloseUnblocks(t *testing.T) {
+	r, err := ListenRelay("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close did not return")
+	}
+}

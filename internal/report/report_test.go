@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", 1.0)
+	tb.AddRow("beta", 12.3456)
+	tb.AddRow("gamma", 123.456)
+	out := tb.String()
+	if !strings.Contains(out, "## demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "12.3") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 3 rows.
+	if len(lines) != 6 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: every data line has the value column at the same
+	// offset as the header's.
+	hdr := lines[1]
+	col := strings.Index(hdr, "value")
+	if col <= 0 {
+		t.Fatalf("header layout: %q", hdr)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	tb.AddRow("x,y", `say "hi"`)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Errorf("comma not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Errorf("quote not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header missing: %s", out)
+	}
+}
+
+func TestCDFPlotRender(t *testing.T) {
+	p := CDFPlot{Title: "lags", XLabel: "ms", Width: 40, Height: 8}
+	var xs, ys []float64
+	for i := 0; i < 100; i++ {
+		xs = append(xs, float64(i))
+		ys = append(ys, float64(i)*2)
+	}
+	p.Add("near", xs)
+	p.Add("far", ys)
+	out := p.String()
+	if !strings.Contains(out, "## lags") || !strings.Contains(out, "(ms)") {
+		t.Errorf("plot chrome missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o near") || !strings.Contains(out, "x far") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "median") {
+		t.Error("median missing from legend")
+	}
+	// The 1.00 row and the lowest row both exist.
+	if !strings.Contains(out, " 1.00 |") || !strings.Contains(out, " 0.00 |") {
+		t.Errorf("probability axis wrong:\n%s", out)
+	}
+}
+
+func TestCDFPlotEmpty(t *testing.T) {
+	p := CDFPlot{Title: "empty"}
+	if !strings.Contains(p.String(), "(no data)") {
+		t.Error("empty plot should say so")
+	}
+	p2 := CDFPlot{}
+	p2.Add("nothing", nil)
+	if !strings.Contains(p2.String(), "(no data)") {
+		t.Error("all-empty curves should say no data")
+	}
+}
+
+func TestCDFPlotDegenerate(t *testing.T) {
+	p := CDFPlot{Width: 20, Height: 5}
+	p.Add("const", []float64{5, 5, 5, 5})
+	out := p.String()
+	if out == "" || !strings.Contains(out, "const") {
+		t.Errorf("degenerate curve render:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.14",
+		123.456: "123.5",
+		1000:    "1000",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	tb := Table{}
+	tb.AddRow("just", "cells")
+	out := tb.String()
+	if strings.Contains(out, "--") {
+		t.Errorf("separator without header:\n%s", out)
+	}
+}

@@ -1,0 +1,226 @@
+// Package rtp packetizes encoded media into RTP-framed datagrams and
+// reassembles them at the receiver. Packet payloads carry references to
+// the encoded-frame metadata (the simulator's stand-in for encrypted media
+// bytes); headers carry real RTP semantics — SSRC, per-packet sequence
+// numbers, per-frame timestamps, and a marker bit on the last fragment of
+// each frame — which is exactly the metadata the paper's traffic analysis
+// can see from the outside.
+package rtp
+
+import (
+	"github.com/vcabench/vcabench/internal/capture"
+	"github.com/vcabench/vcabench/internal/codec"
+)
+
+// Payload types used by the simulated clients.
+const (
+	PTVideo = 96
+	PTAudio = 111
+)
+
+// VideoClockHz is the RTP clock for video (RFC 3551 convention).
+const VideoClockHz = 90000
+
+// DefaultMTU is the maximum L7 datagram size (RTP header + media).
+const DefaultMTU = 1200
+
+// HeaderLen is the fixed RTP header length.
+const HeaderLen = 12
+
+// Payload is the application object carried by a simulated packet.
+type Payload struct {
+	Video     *codec.EncodedFrame
+	Audio     *codec.AudioFrame
+	FragIndex int
+	FragCount int
+}
+
+// Packet is one RTP datagram: header metadata plus wire size.
+type Packet struct {
+	Info  capture.RTPInfo
+	Bytes int // L7 length: HeaderLen + media fragment bytes
+	Data  *Payload
+}
+
+// Packetizer fragments encoded frames into RTP packets.
+type Packetizer struct {
+	ssrc uint32
+	mtu  int
+	fps  int
+	seq  uint16
+	ts   uint32
+}
+
+// NewPacketizer creates a packetizer for one media stream. fps is the
+// video frame cadence driving the RTP timestamp advance.
+func NewPacketizer(ssrc uint32, mtu, fps int) *Packetizer {
+	if mtu <= HeaderLen {
+		mtu = DefaultMTU
+	}
+	if fps <= 0 {
+		fps = 30
+	}
+	return &Packetizer{ssrc: ssrc, mtu: mtu, fps: fps}
+}
+
+// Video fragments an encoded video frame. Skipped frames produce no
+// packets (the sender has nothing to send) but still advance the RTP
+// timestamp, as a real encoder's clock does.
+func (p *Packetizer) Video(ef *codec.EncodedFrame) []*Packet {
+	ts := p.ts
+	p.ts += uint32(VideoClockHz / p.fps)
+	if ef == nil || ef.Skipped || ef.Bits <= 0 {
+		return nil
+	}
+	mediaBytes := (ef.Bits + 7) / 8
+	maxFrag := p.mtu - HeaderLen
+	count := (mediaBytes + maxFrag - 1) / maxFrag
+	if count == 0 {
+		count = 1
+	}
+	pkts := make([]*Packet, 0, count)
+	remaining := mediaBytes
+	for i := 0; i < count; i++ {
+		frag := maxFrag
+		if remaining < frag {
+			frag = remaining
+		}
+		remaining -= frag
+		pkt := &Packet{
+			Info: capture.RTPInfo{
+				SSRC:    p.ssrc,
+				Seq:     p.seq,
+				TS:      ts,
+				Marker:  i == count-1,
+				PT:      PTVideo,
+				KeyUnit: ef.Keyframe,
+			},
+			Bytes: HeaderLen + frag,
+			Data:  &Payload{Video: ef, FragIndex: i, FragCount: count},
+		}
+		p.seq++
+		pkts = append(pkts, pkt)
+	}
+	return pkts
+}
+
+// Audio wraps one coded audio frame (always a single packet).
+func (p *Packetizer) Audio(af *codec.AudioFrame) *Packet {
+	pkt := &Packet{
+		Info: capture.RTPInfo{
+			SSRC:   p.ssrc,
+			Seq:    p.seq,
+			TS:     p.ts,
+			Marker: true,
+			PT:     PTAudio,
+		},
+		Bytes: HeaderLen + (af.Bits+7)/8,
+		Data:  &Payload{Audio: af, FragIndex: 0, FragCount: 1},
+	}
+	p.seq++
+	p.ts += uint32(float64(VideoClockHz) * codec.AudioFrameDur)
+	return pkt
+}
+
+// Stats counts reassembly outcomes.
+type Stats struct {
+	Packets        int
+	FramesComplete int
+	FramesDropped  int // abandoned incomplete frames
+	PacketGaps     int // sequence discontinuities observed
+}
+
+// Reassembler rebuilds complete frames from fragments. Frames complete
+// out of order within a small window; frames still incomplete when the
+// window moves past them are abandoned (counted as dropped).
+type Reassembler struct {
+	depth   int // how many newer frames may complete before giving up
+	pend    map[int]*assembly
+	doneSeq map[int]bool
+	maxSeen int
+	stats   Stats
+	lastPkt uint16
+	havePkt bool
+}
+
+type assembly struct {
+	frame *codec.EncodedFrame
+	got   map[int]bool
+	count int
+}
+
+// NewReassembler creates a reassembler. depth is the completion window in
+// frames (default 5).
+func NewReassembler(depth int) *Reassembler {
+	if depth <= 0 {
+		depth = 5
+	}
+	return &Reassembler{
+		depth:   depth,
+		pend:    make(map[int]*assembly),
+		doneSeq: make(map[int]bool),
+		maxSeen: -1,
+	}
+}
+
+// Push consumes one arriving packet and returns any video frames that
+// completed as a result (in frame order). Audio packets complete
+// immediately and are returned via the second result.
+func (r *Reassembler) Push(pkt *Packet) (videos []*codec.EncodedFrame, audio *codec.AudioFrame) {
+	r.stats.Packets++
+	if r.havePkt && pkt.Info.Seq != r.lastPkt+1 {
+		r.stats.PacketGaps++
+	}
+	r.lastPkt = pkt.Info.Seq
+	r.havePkt = true
+
+	if pkt.Data == nil {
+		return nil, nil
+	}
+	if pkt.Data.Audio != nil {
+		return nil, pkt.Data.Audio
+	}
+	ef := pkt.Data.Video
+	if ef == nil {
+		return nil, nil
+	}
+	fseq := ef.Seq
+	if r.doneSeq[fseq] {
+		return nil, nil // fragment of a finished or abandoned frame
+	}
+	a := r.pend[fseq]
+	if a == nil {
+		a = &assembly{frame: ef, got: make(map[int]bool), count: pkt.Data.FragCount}
+		r.pend[fseq] = a
+	}
+	a.got[pkt.Data.FragIndex] = true
+	if fseq > r.maxSeen {
+		r.maxSeen = fseq
+	}
+	if len(a.got) == a.count {
+		delete(r.pend, fseq)
+		r.doneSeq[fseq] = true
+		r.stats.FramesComplete++
+		videos = append(videos, ef)
+	}
+	// Abandon frames the window has moved past; close them so late
+	// fragments cannot re-open (and re-count) them.
+	for s := range r.pend {
+		if s < r.maxSeen-r.depth {
+			delete(r.pend, s)
+			r.doneSeq[s] = true
+			r.stats.FramesDropped++
+		}
+	}
+	return videos, nil
+}
+
+// Flush abandons all pending frames (end of session) and returns stats.
+func (r *Reassembler) Flush() Stats {
+	r.stats.FramesDropped += len(r.pend)
+	r.pend = make(map[int]*assembly)
+	return r.stats
+}
+
+// StatsSnapshot returns the current counters without flushing.
+func (r *Reassembler) StatsSnapshot() Stats { return r.stats }

@@ -1,0 +1,391 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/geo"
+)
+
+// Addr identifies a datagram endpoint: a node plus a port.
+type Addr struct {
+	Node string
+	Port int
+}
+
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Node, a.Port) }
+
+// Packet is a simulated UDP datagram. Size is the L7 payload length in
+// bytes (the quantity the paper computes data rates from); the simulator
+// adds WireOverhead per packet when modelling link occupancy. Payload
+// carries an opaque application object (e.g. an RTP packet descriptor) —
+// media content is represented by metadata, not by materialized bytes, so
+// multi-minute sessions stay cheap to simulate.
+type Packet struct {
+	From    Addr
+	To      Addr
+	Size    int
+	Payload any
+	SentAt  time.Time
+	// Hop bookkeeping (set by the simulator).
+	ArrivedAt time.Time
+}
+
+// WireOverhead is the per-packet IPv4+UDP header cost used for link
+// occupancy and shaping (20 + 8 bytes).
+const WireOverhead = 28
+
+// wireSize returns the bytes a packet occupies on the wire.
+func (p *Packet) wireSize() int { return p.Size + WireOverhead }
+
+// Handler consumes packets delivered to a bound port.
+type Handler func(pkt *Packet)
+
+// Direction tags tap callbacks.
+type Direction int
+
+const (
+	DirOut Direction = iota // packet leaving the node (after app send)
+	DirIn                   // packet delivered to the node
+)
+
+func (d Direction) String() string {
+	if d == DirOut {
+		return "out"
+	}
+	return "in"
+}
+
+// Tap observes packets at a node, like tcpdump on the VM.
+type Tap func(dir Direction, pkt *Packet, at time.Time)
+
+// NodeConfig configures a node's placement and access link.
+type NodeConfig struct {
+	Name   string
+	Region geo.Region
+	// Access-link bandwidth per direction in bits/s; 0 means unlimited
+	// (the multi-Gbps cloud VM case).
+	UplinkBps   int64
+	DownlinkBps int64
+	// QueueBytes bounds each direction's access queue (tail drop).
+	// 0 selects DefaultQueueBytes.
+	QueueBytes int
+	// LossProb is an independent per-packet drop probability applied on
+	// the downlink (residual random loss).
+	LossProb float64
+}
+
+// DefaultQueueBytes is the access-queue depth when not configured
+// (roughly 100 ms at 20 Mbps).
+const DefaultQueueBytes = 256 * 1024
+
+// PipeStats counts what happened at one access-link direction.
+type PipeStats struct {
+	Packets     int64
+	Bytes       int64 // L7 bytes
+	DropsQueue  int64
+	DropsRandom int64
+}
+
+// pipe is one direction of a node's access link: optional random loss,
+// optional token-bucket shaper, FIFO with a byte-bounded queue, and a
+// serialization rate.
+type pipe struct {
+	sim        *Sim
+	rateBps    int64
+	queueLimit int
+	shaper     *TokenBucket
+	lossProb   float64
+	rng        *randSource
+	queuedB    int
+	nextFree   time.Time
+	stats      PipeStats
+}
+
+// randSource is the minimal random interface pipes need (test seam).
+type randSource struct {
+	f64 func() float64
+}
+
+func (p *pipe) deliverAfter(pkt *Packet, then func(*Packet)) {
+	now := p.sim.Now()
+	wire := pkt.wireSize()
+	if p.lossProb > 0 && p.rng.f64() < p.lossProb {
+		p.stats.DropsRandom++
+		return
+	}
+	// Unconstrained pipe: forward immediately.
+	if p.rateBps <= 0 && p.shaper == nil {
+		p.stats.Packets++
+		p.stats.Bytes += int64(pkt.Size)
+		then(pkt)
+		return
+	}
+	limit := p.queueLimit
+	if limit <= 0 {
+		limit = DefaultQueueBytes
+	}
+	if p.queuedB+wire > limit {
+		p.stats.DropsQueue++
+		return
+	}
+	departAt := now
+	if p.nextFree.After(departAt) {
+		departAt = p.nextFree
+	}
+	if p.shaper != nil {
+		departAt = p.shaper.Admit(departAt, wire)
+	}
+	if p.rateBps > 0 {
+		departAt = departAt.Add(txDuration(wire, p.rateBps))
+	}
+	p.nextFree = departAt
+	p.queuedB += wire
+	p.stats.Packets++
+	p.stats.Bytes += int64(pkt.Size)
+	p.sim.At(departAt, func() {
+		p.queuedB -= wire
+		then(pkt)
+	})
+}
+
+func txDuration(bytes int, bps int64) time.Duration {
+	return time.Duration(float64(bytes*8) / float64(bps) * float64(time.Second))
+}
+
+// TokenBucket is a tc-tbf style policer: tokens (bytes) refill at Rate up
+// to Burst; a packet departs as soon as the bucket holds its size.
+type TokenBucket struct {
+	RateBps int64
+	Burst   int // bytes
+	tokens  float64
+	last    time.Time
+	primed  bool
+}
+
+// NewTokenBucket creates a bucket that starts full.
+func NewTokenBucket(rateBps int64, burst int) *TokenBucket {
+	if burst <= 0 {
+		burst = 16 * 1024
+	}
+	return &TokenBucket{RateBps: rateBps, Burst: burst}
+}
+
+// Admit returns the earliest time at or after now at which a packet of the
+// given byte size may depart, and debits the bucket accordingly.
+func (tb *TokenBucket) Admit(now time.Time, bytes int) time.Time {
+	if tb.RateBps <= 0 {
+		return now
+	}
+	if !tb.primed {
+		tb.tokens = float64(tb.Burst)
+		tb.last = now
+		tb.primed = true
+	}
+	// Refill.
+	if now.After(tb.last) {
+		tb.tokens += now.Sub(tb.last).Seconds() * float64(tb.RateBps) / 8
+		if tb.tokens > float64(tb.Burst) {
+			tb.tokens = float64(tb.Burst)
+		}
+		tb.last = now
+	}
+	need := float64(bytes)
+	if tb.tokens >= need {
+		tb.tokens -= need
+		return now
+	}
+	wait := (need - tb.tokens) / (float64(tb.RateBps) / 8)
+	at := now.Add(time.Duration(wait * float64(time.Second)))
+	tb.tokens = 0
+	tb.last = at
+	return at
+}
+
+// Node is a host attached to the network.
+type Node struct {
+	net      *Network
+	cfg      NodeConfig
+	up, down *pipe
+	handlers map[int]Handler
+	taps     []Tap
+	sent     PipeStats // convenience aggregate (app-level)
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Region returns the node's placement.
+func (n *Node) Region() geo.Region { return n.cfg.Region }
+
+// Bind registers a handler for a local port. Binding a bound port replaces
+// the previous handler (sockets are owned by one client process at a time).
+func (n *Node) Bind(port int, h Handler) { n.handlers[port] = h }
+
+// Unbind removes the handler for port.
+func (n *Node) Unbind(port int) { delete(n.handlers, port) }
+
+// Tap adds a packet observer (tcpdump-style). Taps see outgoing packets at
+// send time and incoming packets at delivery time.
+func (n *Node) Tap(t Tap) { n.taps = append(n.taps, t) }
+
+// SetDownlinkShaper installs (or removes, with nil) a token-bucket shaper
+// on the node's ingress, mirroring the paper's tc/ifb setup for Fig 17/18.
+func (n *Node) SetDownlinkShaper(tb *TokenBucket) { n.down.shaper = tb }
+
+// SetUplinkShaper installs (or removes, with nil) an egress shaper.
+func (n *Node) SetUplinkShaper(tb *TokenBucket) { n.up.shaper = tb }
+
+// UplinkStats and DownlinkStats expose access-link counters.
+func (n *Node) UplinkStats() PipeStats   { return n.up.stats }
+func (n *Node) DownlinkStats() PipeStats { return n.down.stats }
+
+// Send transmits a datagram from this node. The From address's node field
+// is forced to this node; the port is the caller's source port.
+func (n *Node) Send(pkt *Packet) error {
+	pkt.From.Node = n.cfg.Name
+	dst, ok := n.net.nodes[pkt.To.Node]
+	if !ok {
+		return fmt.Errorf("simnet: send to unknown node %q", pkt.To.Node)
+	}
+	pkt.SentAt = n.net.sim.Now()
+	for _, t := range n.taps {
+		t(DirOut, pkt, pkt.SentAt)
+	}
+	n.up.deliverAfter(pkt, func(p *Packet) {
+		n.net.propagate(n, dst, p)
+	})
+	return nil
+}
+
+// Network couples a Sim with a set of nodes and a latency model.
+type Network struct {
+	sim       *Sim
+	path      geo.PathModel
+	jitterStd time.Duration
+	distLoss  float64
+	nodes     map[string]*Node
+	lastArr   map[[2]string]time.Time
+	jrng      *randSourceN
+	lrng      *randSource
+	distDrops int64
+}
+
+type randSourceN struct {
+	norm func() float64
+}
+
+// NetworkConfig tunes the core latency model.
+type NetworkConfig struct {
+	// Path converts geography into propagation delay. Zero value selects
+	// geo.DefaultPathModel.
+	Path geo.PathModel
+	// JitterStd is the standard deviation of one-way core jitter
+	// (half-normal, always >= 0). Zero selects 300µs.
+	JitterStd time.Duration
+	// DistLossPer100ms is the per-packet loss probability accrued per
+	// 100 ms of one-way propagation: long-haul paths are not pristine,
+	// and this is what makes a trans-Atlantic relay detour cost quality,
+	// not just latency. Zero disables distance loss.
+	DistLossPer100ms float64
+}
+
+// NewNetwork creates an empty network on sim.
+func NewNetwork(sim *Sim, cfg NetworkConfig) *Network {
+	if cfg.Path.FiberKmPerMs == 0 {
+		cfg.Path = geo.DefaultPathModel
+	}
+	if cfg.JitterStd == 0 {
+		cfg.JitterStd = 300 * time.Microsecond
+	}
+	jr := sim.Fork("simnet.core-jitter")
+	lr := sim.Fork("simnet.dist-loss")
+	return &Network{
+		sim:       sim,
+		path:      cfg.Path,
+		jitterStd: cfg.JitterStd,
+		distLoss:  cfg.DistLossPer100ms,
+		nodes:     make(map[string]*Node),
+		lastArr:   make(map[[2]string]time.Time),
+		jrng:      &randSourceN{norm: jr.NormFloat64},
+		lrng:      &randSource{f64: lr.Float64},
+	}
+}
+
+// DistanceDrops reports packets lost to distance-dependent path loss.
+func (n *Network) DistanceDrops() int64 { return n.distDrops }
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *Sim { return n.sim }
+
+// PathModel returns the latency model in use.
+func (n *Network) PathModel() geo.PathModel { return n.path }
+
+// AddNode creates and attaches a node. Adding a duplicate name is a
+// programming error and panics.
+func (n *Network) AddNode(cfg NodeConfig) *Node {
+	if cfg.Name == "" {
+		panic("simnet: node with empty name")
+	}
+	if _, dup := n.nodes[cfg.Name]; dup {
+		panic("simnet: duplicate node " + cfg.Name)
+	}
+	lrng := n.sim.Fork("simnet.loss." + cfg.Name)
+	node := &Node{
+		net:      n,
+		cfg:      cfg,
+		handlers: make(map[int]Handler),
+	}
+	node.up = &pipe{
+		sim:     n.sim,
+		rateBps: cfg.UplinkBps, queueLimit: cfg.QueueBytes,
+		rng: &randSource{f64: lrng.Float64},
+	}
+	node.down = &pipe{
+		sim:     n.sim,
+		rateBps: cfg.DownlinkBps, queueLimit: cfg.QueueBytes,
+		lossProb: cfg.LossProb,
+		rng:      &randSource{f64: lrng.Float64},
+	}
+	n.nodes[cfg.Name] = node
+	return node
+}
+
+// Node returns a node by name, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// propagate carries a packet across the core from src to dst.
+func (n *Network) propagate(src, dst *Node, pkt *Packet) {
+	d := n.path.OneWay(src.cfg.Region, dst.cfg.Region)
+	if n.distLoss > 0 {
+		p := n.distLoss * float64(d) / float64(100*time.Millisecond)
+		if n.lrng.f64() < p {
+			n.distDrops++
+			return
+		}
+	}
+	if n.jitterStd > 0 {
+		j := time.Duration(math.Abs(n.jrng.norm()) * float64(n.jitterStd))
+		d += j
+	}
+	arr := n.sim.Now().Add(d)
+	// Preserve FIFO ordering per (src,dst) node pair: jitter must not
+	// reorder a flow (real reordering is rare and would only add noise).
+	key := [2]string{src.cfg.Name, dst.cfg.Name}
+	if last, ok := n.lastArr[key]; ok && !arr.After(last) {
+		arr = last.Add(time.Nanosecond)
+	}
+	n.lastArr[key] = arr
+	n.sim.At(arr, func() {
+		dst.down.deliverAfter(pkt, func(p *Packet) {
+			p.ArrivedAt = n.sim.Now()
+			for _, t := range dst.taps {
+				t(DirIn, p, p.ArrivedAt)
+			}
+			if h, ok := dst.handlers[p.To.Port]; ok {
+				h(p)
+			}
+		})
+	})
+}

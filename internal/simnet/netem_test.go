@@ -1,0 +1,330 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/geo"
+)
+
+func newTestNet(seed int64) (*Sim, *Network) {
+	s := NewSim(seed)
+	n := NewNetwork(s, NetworkConfig{})
+	return s, n
+}
+
+func TestBasicDelivery(t *testing.T) {
+	s, n := newTestNet(1)
+	a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})
+	b := n.AddNode(NodeConfig{Name: "b", Region: geo.USWest})
+	var got *Packet
+	b.Bind(9000, func(p *Packet) { got = p })
+	if err := a.Send(&Packet{To: Addr{"b", 9000}, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if got.From.Node != "a" {
+		t.Errorf("From = %v", got.From)
+	}
+	oneWay := got.ArrivedAt.Sub(got.SentAt)
+	base := n.PathModel().OneWay(geo.USEast, geo.USWest)
+	if oneWay < base || oneWay > base+5*time.Millisecond {
+		t.Errorf("one-way = %v, model = %v", oneWay, base)
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	_, n := newTestNet(1)
+	a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})
+	if err := a.Send(&Packet{To: Addr{"ghost", 1}, Size: 10}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestUnboundPortDropped(t *testing.T) {
+	s, n := newTestNet(1)
+	a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})
+	b := n.AddNode(NodeConfig{Name: "b", Region: geo.USEast2})
+	delivered := false
+	b.Bind(1, func(p *Packet) { delivered = true })
+	a.Send(&Packet{To: Addr{"b", 2}, Size: 10}) // port 2 unbound
+	s.Run()
+	if delivered {
+		t.Error("handler on port 1 saw packet for port 2")
+	}
+	// Still counted by the downlink (it crossed the wire).
+	if b.DownlinkStats().Packets != 1 {
+		t.Errorf("downlink packets = %d", b.DownlinkStats().Packets)
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	_, n := newTestNet(1)
+	n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.AddNode(NodeConfig{Name: "a", Region: geo.USWest})
+}
+
+func TestFlowFIFONoReordering(t *testing.T) {
+	s, n := newTestNet(7)
+	a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})
+	b := n.AddNode(NodeConfig{Name: "b", Region: geo.CH})
+	var seqs []int
+	b.Bind(5, func(p *Packet) { seqs = append(seqs, p.Payload.(int)) })
+	for i := 0; i < 200; i++ {
+		i := i
+		s.After(time.Duration(i)*100*time.Microsecond, func() {
+			a.Send(&Packet{To: Addr{"b", 5}, Size: 1200, Payload: i})
+		})
+	}
+	s.Run()
+	if len(seqs) != 200 {
+		t.Fatalf("delivered %d/200", len(seqs))
+	}
+	for i, v := range seqs {
+		if v != i {
+			t.Fatalf("reordered at %d: %v", i, v)
+		}
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 10 packets of 1000B(+28) through a 1 Mbps uplink take ~82ms to
+	// serialize; the last arrival must reflect that queueing.
+	s, n := newTestNet(1)
+	a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast, UplinkBps: 1_000_000})
+	b := n.AddNode(NodeConfig{Name: "b", Region: geo.USEast2})
+	var last time.Time
+	count := 0
+	b.Bind(5, func(p *Packet) { last = p.ArrivedAt; count++ })
+	for i := 0; i < 10; i++ {
+		a.Send(&Packet{To: Addr{"b", 5}, Size: 1000})
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("delivered %d/10", count)
+	}
+	serialize := time.Duration(10 * (1000 + WireOverhead) * 8 * 1000) // ns at 1Mbps: bits*1000ns
+	elapsed := last.Sub(Epoch)
+	if elapsed < serialize {
+		t.Errorf("last arrival %v < serialization floor %v", elapsed, serialize)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	s, n := newTestNet(1)
+	a := n.AddNode(NodeConfig{
+		Name: "a", Region: geo.USEast,
+		UplinkBps: 100_000, QueueBytes: 5000,
+	})
+	n.AddNode(NodeConfig{Name: "b", Region: geo.USEast2})
+	for i := 0; i < 100; i++ {
+		a.Send(&Packet{To: Addr{"b", 5}, Size: 1200})
+	}
+	s.Run()
+	st := a.UplinkStats()
+	if st.DropsQueue == 0 {
+		t.Error("expected tail drops")
+	}
+	if st.Packets+st.DropsQueue != 100 {
+		t.Errorf("conservation: %d sent + %d dropped != 100", st.Packets, st.DropsQueue)
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	s, n := newTestNet(123)
+	a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})
+	b := n.AddNode(NodeConfig{Name: "b", Region: geo.USEast2, LossProb: 0.3})
+	got := 0
+	b.Bind(5, func(p *Packet) { got++ })
+	const sent = 2000
+	for i := 0; i < sent; i++ {
+		a.Send(&Packet{To: Addr{"b", 5}, Size: 100})
+	}
+	s.Run()
+	frac := float64(got) / sent
+	if frac < 0.64 || frac > 0.76 {
+		t.Errorf("delivered fraction = %.3f, want ~0.70", frac)
+	}
+	if b.DownlinkStats().DropsRandom != int64(sent-got) {
+		t.Errorf("loss accounting mismatch")
+	}
+}
+
+func TestTapSeesBothDirections(t *testing.T) {
+	s, n := newTestNet(1)
+	a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})
+	b := n.AddNode(NodeConfig{Name: "b", Region: geo.USEast2})
+	b.Bind(5, func(p *Packet) {})
+	var outs, ins int
+	a.Tap(func(d Direction, p *Packet, at time.Time) {
+		if d == DirOut {
+			outs++
+		} else {
+			ins++
+		}
+	})
+	var bIns int
+	b.Tap(func(d Direction, p *Packet, at time.Time) {
+		if d == DirIn {
+			bIns++
+		}
+	})
+	a.Send(&Packet{To: Addr{"b", 5}, Size: 64})
+	s.Run()
+	if outs != 1 || ins != 0 || bIns != 1 {
+		t.Errorf("taps: a.out=%d a.in=%d b.in=%d", outs, ins, bIns)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() []time.Duration {
+		s, n := newTestNet(99)
+		a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})
+		b := n.AddNode(NodeConfig{Name: "b", Region: geo.CH, DownlinkBps: 2_000_000})
+		var lat []time.Duration
+		b.Bind(5, func(p *Packet) { lat = append(lat, p.ArrivedAt.Sub(p.SentAt)) })
+		s.Every(10*time.Millisecond, func() {
+			a.Send(&Packet{To: Addr{"b", 5}, Size: 1100})
+		})
+		s.RunUntil(Epoch.Add(2 * time.Second))
+		return lat
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) || len(r1) == 0 {
+		t.Fatalf("lengths %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestShaperRateEnforced(t *testing.T) {
+	// A 500 Kbps downlink shaper must cap long-run goodput near 500 Kbps
+	// even when offered 2 Mbps.
+	s, n := newTestNet(5)
+	a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})
+	b := n.AddNode(NodeConfig{Name: "b", Region: geo.USEast2, QueueBytes: 64 * 1024})
+	b.SetDownlinkShaper(NewTokenBucket(500_000, 10*1024))
+	var bytes int64
+	var lastArr time.Time
+	b.Bind(5, func(p *Packet) { bytes += int64(p.Size); lastArr = p.ArrivedAt })
+	// Offer 2 Mbps for 4 seconds: 1000B every 4ms.
+	ev := s.Every(4*time.Millisecond, func() {
+		a.Send(&Packet{To: Addr{"b", 5}, Size: 1000})
+	})
+	s.RunUntil(Epoch.Add(4 * time.Second))
+	ev.Cancel()
+	s.Run()
+	dur := lastArr.Sub(Epoch).Seconds()
+	rate := float64(bytes) * 8 / dur
+	if rate > 560_000 {
+		t.Errorf("shaped goodput = %.0f bps, want <= ~520k", rate)
+	}
+	if rate < 350_000 {
+		t.Errorf("shaped goodput = %.0f bps suspiciously low", rate)
+	}
+	if b.DownlinkStats().DropsQueue == 0 {
+		t.Error("expected queue drops at 4x overload")
+	}
+}
+
+func TestTokenBucketBurst(t *testing.T) {
+	tb := NewTokenBucket(1_000_000, 8000)
+	now := Epoch
+	// A full bucket passes 8000 bytes immediately.
+	if at := tb.Admit(now, 8000); !at.Equal(now) {
+		t.Errorf("burst not admitted immediately: %v", at.Sub(now))
+	}
+	// The next kilobyte must wait ~8ms at 1 Mbps.
+	at := tb.Admit(now, 1000)
+	want := now.Add(8 * time.Millisecond)
+	if at.Before(want.Add(-time.Millisecond)) || at.After(want.Add(time.Millisecond)) {
+		t.Errorf("post-burst admit at %v, want ~%v", at.Sub(now), want.Sub(now))
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	tb := NewTokenBucket(0, 0)
+	if at := tb.Admit(Epoch, 1<<20); !at.Equal(Epoch) {
+		t.Error("zero-rate bucket should be a no-op")
+	}
+}
+
+// Property: token bucket departure times are nondecreasing and never in
+// the past; long-run rate never exceeds configured rate by more than the
+// burst allowance.
+func TestTokenBucketProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		tb := NewTokenBucket(250_000, 4096)
+		now := Epoch
+		var total int
+		var last time.Time = Epoch
+		for _, raw := range sizes {
+			size := int(raw)%1400 + 1
+			at := tb.Admit(now, size)
+			if at.Before(now) || at.Before(last) {
+				return false
+			}
+			last = at
+			now = at
+			total += size
+		}
+		if len(sizes) == 0 {
+			return true
+		}
+		elapsed := last.Sub(Epoch).Seconds()
+		budget := 250_000.0/8*elapsed + 4096 + 1400
+		return float64(total) <= budget+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipeConservation(t *testing.T) {
+	// Every offered packet is either delivered or counted as a drop.
+	s, n := newTestNet(11)
+	a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast, UplinkBps: 300_000, QueueBytes: 8 * 1024})
+	b := n.AddNode(NodeConfig{Name: "b", Region: geo.USWest, DownlinkBps: 200_000, QueueBytes: 8 * 1024, LossProb: 0.05})
+	delivered := 0
+	b.Bind(5, func(p *Packet) { delivered++ })
+	const offered = 500
+	for i := 0; i < offered; i++ {
+		i := i
+		s.After(time.Duration(i)*2*time.Millisecond, func() {
+			a.Send(&Packet{To: Addr{"b", 5}, Size: 900})
+		})
+	}
+	s.Run()
+	up, down := a.UplinkStats(), b.DownlinkStats()
+	if up.Packets+up.DropsQueue != offered {
+		t.Errorf("uplink conservation: %d+%d != %d", up.Packets, up.DropsQueue, offered)
+	}
+	if down.Packets+down.DropsQueue+down.DropsRandom != up.Packets {
+		t.Errorf("downlink conservation: %d+%d+%d != %d",
+			down.Packets, down.DropsQueue, down.DropsRandom, up.Packets)
+	}
+	if int64(delivered) != down.Packets {
+		t.Errorf("delivered %d != downlink packets %d", delivered, down.Packets)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if s := (Addr{"n", 8801}).String(); s != "n:8801" {
+		t.Errorf("Addr.String = %q", s)
+	}
+	if DirOut.String() != "out" || DirIn.String() != "in" {
+		t.Error("Direction.String broken")
+	}
+}

@@ -1,0 +1,202 @@
+// Package simnet is a deterministic, discrete-event, packet-level network
+// simulator. It provides the substrate the paper obtained from Azure: a set
+// of geographically placed nodes with access links (bandwidth, queueing,
+// loss, optional token-bucket traffic shaping, as with tc/ifb) joined by an
+// over-provisioned core whose latency follows the geo.PathModel.
+//
+// Everything is driven by a virtual clock; runs are reproducible
+// byte-for-byte for a given seed. All application-visible time stamps come
+// from Sim.Now, which plays the role of the stratum-1-synchronized clocks
+// that major clouds provide (paper §3.1): every node shares one perfectly
+// synchronized clock, so sender/receiver packet-timestamp correlation is
+// exact, as the paper's methodology assumes.
+package simnet
+
+import (
+	"container/heap"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Epoch is the instant at which every simulation starts. The specific date
+// matches the paper's measurement campaign (April 2021).
+var Epoch = time.Date(2021, time.April, 1, 0, 0, 0, 0, time.UTC)
+
+// Event is a scheduled callback. Cancel prevents a pending event from
+// firing; cancelling an already-fired event is a no-op.
+type Event struct {
+	at        time.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+// Cancel prevents the event from firing.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// When returns the virtual time the event is scheduled for.
+func (e *Event) When() time.Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is the discrete-event engine: a virtual clock plus an event queue.
+type Sim struct {
+	now    time.Time
+	queue  eventQueue
+	seq    uint64
+	seed   int64
+	rng    *rand.Rand
+	nsteps uint64
+}
+
+// NewSim creates a simulator with its clock at Epoch. All randomness in
+// the simulation derives from seed.
+func NewSim(seed int64) *Sim {
+	return &Sim{
+		now:  Epoch,
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Since returns the virtual time elapsed since Epoch.
+func (s *Sim) Since() time.Duration { return s.now.Sub(Epoch) }
+
+// RNG returns the root random source. Prefer Fork for independent streams.
+func (s *Sim) RNG() *rand.Rand { return s.rng }
+
+// Fork returns an independent deterministic random stream derived from the
+// simulation seed and the given name. Two forks with different names are
+// statistically independent; the same name always yields the same stream.
+func (s *Sim) Fork(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(s.seed ^ int64(h.Sum64())))
+}
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is a
+// programming error and panics.
+func (s *Sim) At(t time.Time, fn func()) *Event {
+	if t.Before(s.now) {
+		panic("simnet: scheduling event in the past")
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn after virtual duration d (d < 0 is treated as 0).
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Every schedules fn every period, starting after the first period, until
+// the returned Event is cancelled. fn observes the tick time via Now.
+func (s *Sim) Every(period time.Duration, fn func()) *Event {
+	if period <= 0 {
+		panic("simnet: Every with non-positive period")
+	}
+	// The controlling event handle; rescheduling preserves cancellation.
+	ctl := &Event{}
+	var tick func()
+	tick = func() {
+		if ctl.cancelled {
+			return
+		}
+		fn()
+		if !ctl.cancelled {
+			s.After(period, tick)
+		}
+	}
+	s.After(period, tick)
+	return ctl
+}
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed.
+func (s *Sim) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		s.nsteps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue completely.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events up to and including time t, then advances the
+// clock to exactly t. Events scheduled after t remain pending.
+func (s *Sim) RunUntil(t time.Time) {
+	for s.queue.Len() > 0 {
+		// Peek.
+		next := s.queue[0]
+		if next.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at.After(t) {
+			break
+		}
+		s.Step()
+	}
+	if s.now.Before(t) {
+		s.now = t
+	}
+}
+
+// RunFor executes events for virtual duration d from the current time.
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Steps returns the number of events executed so far (for diagnostics and
+// benchmarks).
+func (s *Sim) Steps() uint64 { return s.nsteps }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet discarded).
+func (s *Sim) Pending() int { return s.queue.Len() }

@@ -1,0 +1,173 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim(1)
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if s.Since() != 30*time.Millisecond {
+		t.Errorf("clock = %v", s.Since())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := NewSim(1)
+	var got []int
+	at := s.Now().Add(time.Second)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewSim(1)
+	fired := false
+	e := s.After(time.Second, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestPastPanics(t *testing.T) {
+	s := NewSim(1)
+	s.After(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling into the past")
+		}
+	}()
+	s.At(Epoch, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim(1)
+	count := 0
+	s.Every(100*time.Millisecond, func() { count++ })
+	s.RunUntil(Epoch.Add(time.Second))
+	if count != 10 {
+		t.Errorf("ticks = %d, want 10", count)
+	}
+	if s.Now() != Epoch.Add(time.Second) {
+		t.Errorf("clock = %v", s.Now())
+	}
+	if s.Pending() == 0 {
+		t.Error("recurring event should still be pending")
+	}
+}
+
+func TestEveryCancel(t *testing.T) {
+	s := NewSim(1)
+	count := 0
+	var ctl *Event
+	ctl = s.Every(10*time.Millisecond, func() {
+		count++
+		if count == 5 {
+			ctl.Cancel()
+		}
+	})
+	s.RunFor(time.Second)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+}
+
+func TestEveryBadPeriodPanics(t *testing.T) {
+	s := NewSim(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Every(0, func() {})
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	s := NewSim(1)
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Error("negative After never fired")
+	}
+	if !s.Now().Equal(Epoch) {
+		t.Errorf("clock moved to %v", s.Now())
+	}
+}
+
+func TestForkDeterminism(t *testing.T) {
+	a := NewSim(42).Fork("x")
+	b := NewSim(42).Fork("x")
+	c := NewSim(42).Fork("y")
+	same, diff := true, false
+	for i := 0; i < 32; i++ {
+		va, vb, vc := a.Int63(), b.Int63(), c.Int63()
+		if va != vb {
+			same = false
+		}
+		if va != vc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same-name forks disagree")
+	}
+	if !diff {
+		t.Error("different-name forks identical")
+	}
+}
+
+// Property: however events are scheduled, they execute in nondecreasing
+// time order and the clock never goes backwards.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewSim(3)
+		var times []time.Time
+		for _, d := range delays {
+			s.After(time.Duration(d)*time.Millisecond, func() {
+				times = append(times, s.Now())
+			})
+		}
+		s.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i].Before(times[i-1]) {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepsCount(t *testing.T) {
+	s := NewSim(1)
+	for i := 0; i < 5; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.Steps() != 5 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+}

@@ -1,0 +1,366 @@
+// Package stats provides the small statistical toolkit used throughout the
+// benchmark harness: empirical CDFs, quantiles, boxplot summaries,
+// histograms and streaming moment accumulators.
+//
+// All functions are deterministic and allocation-conscious; the hot paths
+// (Sample.Add, Moments.Add) do not allocate.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations for offline summary statistics.
+// The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a Sample pre-sized for n observations.
+func NewSample(n int) *Sample { return &Sample{xs: make([]float64, 0, n)} }
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll records every observation in xs.
+func (s *Sample) AddAll(xs []float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// Len reports the number of observations recorded.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Values returns the observations in sorted order. The returned slice is
+// owned by the Sample and must not be modified.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	return s.xs
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the population standard deviation, or NaN for an empty
+// sample.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Min returns the smallest observation, or NaN for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or NaN for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using linear
+// interpolation between order statistics (type-7 estimator, the default of
+// R and NumPy). It returns NaN for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	n := len(s.xs)
+	if n == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	s.sort()
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	frac := pos - float64(lo)
+	if hi >= n {
+		return s.xs[n-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Summary is a boxplot-style five-number summary plus mean and stddev.
+type Summary struct {
+	N                int
+	Min, Max         float64
+	P25, P50, P75    float64
+	Mean, StdDev     float64
+	WhiskLo, WhiskHi float64 // Tukey whiskers: farthest points within 1.5*IQR
+}
+
+// Summarize computes the Summary of the sample.
+func (s *Sample) Summarize() Summary {
+	sum := Summary{N: s.Len()}
+	if sum.N == 0 {
+		nan := math.NaN()
+		sum.Min, sum.Max, sum.P25, sum.P50, sum.P75 = nan, nan, nan, nan, nan
+		sum.Mean, sum.StdDev, sum.WhiskLo, sum.WhiskHi = nan, nan, nan, nan
+		return sum
+	}
+	sum.Min = s.Min()
+	sum.Max = s.Max()
+	sum.P25 = s.Quantile(0.25)
+	sum.P50 = s.Quantile(0.50)
+	sum.P75 = s.Quantile(0.75)
+	sum.Mean = s.Mean()
+	sum.StdDev = s.StdDev()
+	iqr := sum.P75 - sum.P25
+	loFence := sum.P25 - 1.5*iqr
+	hiFence := sum.P75 + 1.5*iqr
+	sum.WhiskLo, sum.WhiskHi = sum.Max, sum.Min
+	for _, x := range s.Values() {
+		if x >= loFence && x < sum.WhiskLo {
+			sum.WhiskLo = x
+		}
+		if x <= hiFence && x > sum.WhiskHi {
+			sum.WhiskHi = x
+		}
+	}
+	return sum
+}
+
+func (m Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g p25=%.3g med=%.3g p75=%.3g max=%.3g mean=%.3g sd=%.3g",
+		m.N, m.Min, m.P25, m.P50, m.P75, m.Max, m.Mean, m.StdDev)
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	xs []float64 // sorted observations
+}
+
+// NewCDF builds an empirical CDF from xs (a copy is taken).
+func NewCDF(xs []float64) *CDF {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	return &CDF{xs: cp}
+}
+
+// CDF returns the sample's empirical CDF (shares storage with the Sample).
+func (s *Sample) CDF() *CDF {
+	s.sort()
+	return &CDF{xs: s.xs}
+}
+
+// Len reports the number of underlying observations.
+func (c *CDF) Len() int { return len(c.xs) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.xs) == 0 {
+		return math.NaN()
+	}
+	// Count of observations <= x.
+	i := sort.Search(len(c.xs), func(i int) bool { return c.xs[i] > x })
+	return float64(i) / float64(len(c.xs))
+}
+
+// Inverse returns the smallest x with P(X <= x) >= p.
+func (c *CDF) Inverse(p float64) float64 {
+	if len(c.xs) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.xs[0]
+	}
+	if p >= 1 {
+		return c.xs[len(c.xs)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(c.xs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.xs) {
+		idx = len(c.xs) - 1
+	}
+	return c.xs[idx]
+}
+
+// Points returns up to n (x, P(X<=x)) pairs suitable for plotting the CDF
+// as a step curve. If the sample has fewer than n points, every
+// observation is emitted.
+func (c *CDF) Points(n int) (xs, ps []float64) {
+	m := len(c.xs)
+	if m == 0 {
+		return nil, nil
+	}
+	if n <= 0 || n > m {
+		n = m
+	}
+	xs = make([]float64, 0, n)
+	ps = make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		// Evenly spaced order statistics, always including the last.
+		idx := m - 1
+		if n > 1 {
+			idx = i * (m - 1) / (n - 1)
+		}
+		xs = append(xs, c.xs[idx])
+		ps = append(ps, float64(idx+1)/float64(m))
+	}
+	return xs, ps
+}
+
+// Histogram counts observations into uniform-width bins across [lo, hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+}
+
+// NewHistogram creates a histogram with nbins uniform bins on [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 {
+		nbins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+}
+
+// Add records x, counting out-of-range values in underflow/overflow.
+func (h *Histogram) Add(x float64) {
+	if x < h.Lo {
+		h.under++
+		return
+	}
+	if x >= h.Hi {
+		h.over++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the count of all recorded values including out-of-range.
+func (h *Histogram) Total() int {
+	t := h.under + h.over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the center x of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Moments is a streaming accumulator for count, mean and variance using
+// Welford's algorithm. The zero value is ready to use.
+type Moments struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (m *Moments) Add(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of observations.
+func (m *Moments) N() int { return m.n }
+
+// Mean returns the running mean (NaN when empty).
+func (m *Moments) Mean() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return m.mean
+}
+
+// Var returns the running population variance (NaN when empty).
+func (m *Moments) Var() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return m.m2 / float64(m.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Var()) }
+
+// Min returns the smallest observation (NaN when empty).
+func (m *Moments) Min() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return m.min
+}
+
+// Max returns the largest observation (NaN when empty).
+func (m *Moments) Max() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return m.max
+}

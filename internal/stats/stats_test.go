@@ -1,0 +1,274 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Len() != 0 {
+		t.Fatalf("Len of empty = %d", s.Len())
+	}
+	for name, v := range map[string]float64{
+		"mean": s.Mean(), "sd": s.StdDev(), "min": s.Min(), "max": s.Max(),
+		"q": s.Quantile(0.5),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty sample = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	s := NewSample(5)
+	s.AddAll([]float64{4, 1, 3, 2, 5})
+	if got := s.Mean(); !almost(got, 3, 1e-12) {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := s.Median(); !almost(got, 3, 1e-12) {
+		t.Errorf("Median = %v, want 3", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	// Population stddev of 1..5 = sqrt(2).
+	if got := s.StdDev(); !almost(got, math.Sqrt2, 1e-12) {
+		t.Errorf("StdDev = %v, want sqrt(2)", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := NewSample(4)
+	s.AddAll([]float64{10, 20, 30, 40})
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {0.25, 17.5}, {0.75, 32.5},
+		{-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); !almost(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}) // 100 is an outlier
+	sum := s.Summarize()
+	if sum.N != 10 {
+		t.Fatalf("N = %d", sum.N)
+	}
+	if sum.Max != 100 || sum.Min != 1 {
+		t.Errorf("min/max = %v/%v", sum.Min, sum.Max)
+	}
+	if sum.WhiskHi >= 100 {
+		t.Errorf("whisker includes outlier: %v", sum.WhiskHi)
+	}
+	if sum.WhiskLo != 1 {
+		t.Errorf("WhiskLo = %v, want 1", sum.WhiskLo)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Sample
+	sum := s.Summarize()
+	if sum.N != 0 || !math.IsNaN(sum.Mean) {
+		t.Errorf("empty summary = %+v", sum)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almost(got, tc.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFInverse(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20}, {0.75, 30}, {1, 40},
+	}
+	for _, tc := range cases {
+		if got := c.Inverse(tc.p); got != tc.want {
+			t.Errorf("Inverse(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	c := NewCDF(xs)
+	px, pp := c.Points(10)
+	if len(px) != 10 || len(pp) != 10 {
+		t.Fatalf("Points lengths %d/%d", len(px), len(pp))
+	}
+	if px[0] != 0 || px[9] != 99 {
+		t.Errorf("endpoints %v..%v", px[0], px[9])
+	}
+	if !sort.Float64sAreSorted(px) || !sort.Float64sAreSorted(pp) {
+		t.Errorf("points not monotone")
+	}
+	if pp[9] != 1 {
+		t.Errorf("final p = %v, want 1", pp[9])
+	}
+}
+
+func TestCDFPointsSmall(t *testing.T) {
+	c := NewCDF([]float64{5})
+	px, pp := c.Points(10)
+	if len(px) != 1 || px[0] != 5 || pp[0] != 1 {
+		t.Errorf("single-point CDF: %v %v", px, pp)
+	}
+	var empty CDF
+	if xs, ps := empty.Points(4); xs != nil || ps != nil {
+		t.Errorf("empty CDF points = %v %v", xs, ps)
+	}
+}
+
+// Property: CDF is monotone nondecreasing and bounded by [0, 1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, probes []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		sort.Float64s(probes)
+		prev := 0.0
+		for _, p := range probes {
+			if math.IsNaN(p) {
+				continue
+			}
+			v := c.At(p)
+			if v < 0 || v > 1 || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is monotone in q and within [min, max].
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := NewSample(len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s.Add(v)
+			}
+		}
+		if s.Len() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := s.Quantile(q)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i))
+	}
+	h.Add(-1)
+	h.Add(11)
+	if h.Total() != 12 {
+		t.Errorf("Total = %d, want 12", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Errorf("bin %d count = %d, want 2", i, c)
+		}
+	}
+	if got := h.BinCenter(0); !almost(got, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // invalid args are repaired
+	h.Add(5)
+	if h.Total() != 1 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestMomentsMatchesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var m Moments
+	s := NewSample(1000)
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 42
+		m.Add(x)
+		s.Add(x)
+	}
+	if !almost(m.Mean(), s.Mean(), 1e-9) {
+		t.Errorf("mean %v vs %v", m.Mean(), s.Mean())
+	}
+	if !almost(m.StdDev(), s.StdDev(), 1e-9) {
+		t.Errorf("sd %v vs %v", m.StdDev(), s.StdDev())
+	}
+	if m.Min() != s.Min() || m.Max() != s.Max() {
+		t.Errorf("min/max mismatch")
+	}
+	if m.N() != 1000 {
+		t.Errorf("N = %d", m.N())
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if !math.IsNaN(m.Mean()) || !math.IsNaN(m.Var()) || !math.IsNaN(m.Min()) || !math.IsNaN(m.Max()) {
+		t.Error("empty moments should be NaN")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := NewSample(3)
+	s.AddAll([]float64{1, 2, 3})
+	if str := s.Summarize().String(); str == "" {
+		t.Error("empty String()")
+	}
+}

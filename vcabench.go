@@ -1,0 +1,116 @@
+// Package vcabench is a controlled, reproducible benchmarking harness for
+// videoconferencing systems, reproducing "Can You See Me Now? A
+// Measurement Study of Zoom, Webex, and Meet" (IMC 2021).
+//
+// The public API is a facade over the internal packages:
+//
+//   - NewTestbed provisions the simulated vantage-point fleet and the
+//     three platform models (Zoom, Webex, Meet).
+//   - Run executes any of the paper's tables/figures by ID and renders
+//     the result; List enumerates them.
+//   - RunLagStudy and RunQoEStudy expose the two underlying experiment
+//     engines for custom scenarios.
+//
+// A minimal session:
+//
+//	tb := vcabench.NewTestbed(1)
+//	res := vcabench.RunLagStudy(tb, vcabench.Zoom, vcabench.USEast,
+//	    vcabench.USLagFleet(vcabench.USEast), vcabench.QuickScale)
+//	fmt.Println(res.Lags["US-West"].Median())
+//
+// Everything is deterministic for a given seed, uses only the standard
+// library, and runs in virtual time.
+package vcabench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vcabench/vcabench/internal/core"
+	"github.com/vcabench/vcabench/internal/geo"
+	"github.com/vcabench/vcabench/internal/media"
+	"github.com/vcabench/vcabench/internal/platform"
+)
+
+// Re-exported platform identities.
+const (
+	Zoom  = platform.Zoom
+	Webex = platform.Webex
+	Meet  = platform.Meet
+)
+
+// Kinds lists the platforms under test in the paper's order.
+var Kinds = platform.Kinds
+
+// Re-exported core types.
+type (
+	// Testbed is the simulated measurement infrastructure.
+	Testbed = core.Testbed
+	// Scale selects experiment cost (paper / quick / tiny).
+	Scale = core.Scale
+	// LagStudyResult carries Figs 2-11 data for one scenario.
+	LagStudyResult = core.LagStudyResult
+	// QoEStudyResult carries Figs 12-18 data for one cell.
+	QoEStudyResult = core.QoEStudyResult
+	// QoEOpts tunes QoE studies (bandwidth caps, audio).
+	QoEOpts = core.QoEOpts
+	// Experiment is one reproducible paper artifact.
+	Experiment = core.Experiment
+	// Region is a geographic vantage point or PoP.
+	Region = geo.Region
+)
+
+// Scales.
+var (
+	PaperScale = core.PaperScale
+	QuickScale = core.QuickScale
+	TinyScale  = core.TinyScale
+)
+
+// Common vantage points (see the geo package for the full Table-3 fleet).
+var (
+	USEast = geo.USEast
+	USWest = geo.USWest
+	UKWest = geo.UKWest
+	CH     = geo.CH
+)
+
+// Motion classes for QoE studies.
+const (
+	LowMotion  = media.LowMotion
+	HighMotion = media.HighMotion
+)
+
+// NewTestbed provisions a deterministic testbed.
+func NewTestbed(seed int64) *Testbed { return core.NewTestbed(seed) }
+
+// USLagFleet and EULagFleet build the Table-3 participant sets for a host.
+func USLagFleet(host Region) []Region { return core.USLagFleet(host) }
+func EULagFleet(host Region) []Region { return core.EULagFleet(host) }
+
+// RunLagStudy measures streaming lag, endpoint RTTs and endpoint churn
+// (the §4.2 methodology) for one platform and host placement.
+func RunLagStudy(tb *Testbed, kind platform.Kind, host Region, fleet []Region, sc Scale) *LagStudyResult {
+	return core.RunLagStudy(tb, kind, host, fleet, sc)
+}
+
+// RunQoEStudy measures video/audio QoE and data rates (the §4.3-4.4
+// methodology) for one platform, host placement and receiver set.
+func RunQoEStudy(tb *Testbed, kind platform.Kind, host Region, recvs []Region,
+	motion media.MotionClass, sc Scale, opts QoEOpts) *QoEStudyResult {
+	return core.RunQoEStudy(tb, kind, host, recvs, motion, sc, opts)
+}
+
+// List returns every reproducible artifact (tables, figures, ablations).
+func List() []Experiment { return core.Experiments() }
+
+// Run executes one artifact by ID at the given scale, writing its
+// rendered tables/plots to w.
+func Run(id string, seed int64, sc Scale, w io.Writer) error {
+	e, ok := core.Lookup(id)
+	if !ok {
+		return fmt.Errorf("vcabench: unknown experiment %q (use List)", id)
+	}
+	e.Run(core.NewTestbed(seed), sc, w)
+	return nil
+}

@@ -1,0 +1,54 @@
+package vcabench_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vcabench/vcabench"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tb := vcabench.NewTestbed(1)
+	res := vcabench.RunLagStudy(tb, vcabench.Zoom, vcabench.USEast,
+		vcabench.USLagFleet(vcabench.USEast), vcabench.TinyScale)
+	if res.Lags["US-West"].Len() == 0 {
+		t.Fatal("no lag samples through the public API")
+	}
+	if res.Lags["US-West"].Median() <= res.Lags["US-East2"].Median() {
+		t.Error("geographic lag ordering broken")
+	}
+}
+
+func TestListAndRun(t *testing.T) {
+	exps := vcabench.List()
+	if len(exps) < 25 {
+		t.Errorf("only %d experiments registered", len(exps))
+	}
+	var sb strings.Builder
+	if err := vcabench.Run("table3", 1, vcabench.TinyScale, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"US-East", "UK-West", "Virginia", "Cardiff"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q", want)
+		}
+	}
+	if err := vcabench.Run("no-such-figure", 1, vcabench.TinyScale, &sb); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() string {
+		var sb strings.Builder
+		if err := vcabench.Run("fig3", 7, vcabench.TinyScale, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed produced different output:\n%s\nvs\n%s", a, b)
+	}
+}
