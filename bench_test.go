@@ -21,15 +21,35 @@ import (
 var benchScale = vcabench.TinyScale
 
 // runExperiment is the generic artifact bench: execute and discard the
-// rendered output, timing the full pipeline.
+// rendered output, timing the full pipeline (campaign units run on the
+// default worker pool, one per CPU).
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
+	runExperimentParallel(b, id, 0)
+}
+
+// runExperimentParallel pins the campaign worker count; serial (1) vs
+// parallel (4) pairs below make the scheduler's speedup a tracked
+// metric. Output bytes are identical at any worker count.
+func runExperimentParallel(b *testing.B, id string, workers int) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if err := vcabench.Run(id, 42, benchScale, io.Discard); err != nil {
+		if err := vcabench.RunParallel(id, 42, benchScale, workers, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// Serial-vs-parallel pairs over the two heaviest campaign shapes: a
+// (platform, scenario) lag figure and the 30-cell §4.3.1 US QoE sweep.
+func BenchmarkFig4CampaignSerial(b *testing.B)     { runExperimentParallel(b, "fig4", 1) }
+func BenchmarkFig4CampaignParallel4(b *testing.B)  { runExperimentParallel(b, "fig4", 4) }
+func BenchmarkFig12SweepSerial(b *testing.B)       { runExperimentParallel(b, "fig12", 1) }
+func BenchmarkFig12SweepParallel4(b *testing.B)    { runExperimentParallel(b, "fig12", 4) }
+func BenchmarkAblateP2PSerial(b *testing.B)        { runExperimentParallel(b, "ablate-p2p", 1) }
+func BenchmarkAblateP2PParallel4(b *testing.B)     { runExperimentParallel(b, "ablate-p2p", 4) }
+func BenchmarkFig17CapSweepSerial(b *testing.B)    { runExperimentParallel(b, "fig17", 1) }
+func BenchmarkFig17CapSweepParallel4(b *testing.B) { runExperimentParallel(b, "fig17", 4) }
 
 func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
 func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }

@@ -3,8 +3,11 @@
 // Usage:
 //
 //	vcabench -list
-//	vcabench -run fig4 [-scale quick|paper|tiny] [-seed 42]
+//	vcabench -run fig4 [-scale quick|paper|tiny] [-seed 42] [-parallel N]
 //	vcabench -run all
+//
+// -parallel bounds the campaign worker pool (0 = one worker per CPU,
+// 1 = serial). Output is byte-identical at any worker count.
 package main
 
 import (
@@ -18,10 +21,11 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		run   = flag.String("run", "", "comma-separated experiment IDs, or \"all\"")
-		scale = flag.String("scale", "quick", "experiment scale: tiny, quick or paper")
-		seed  = flag.Int64("seed", 42, "simulation seed")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		run      = flag.String("run", "", "comma-separated experiment IDs, or \"all\"")
+		scale    = flag.String("scale", "quick", "experiment scale: tiny, quick or paper")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		parallel = flag.Int("parallel", 0, "campaign worker count (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -59,7 +63,7 @@ func main() {
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		fmt.Printf("=== %s (scale=%s, seed=%d) ===\n", id, sc.Name, *seed)
-		if err := vcabench.Run(id, *seed, sc, os.Stdout); err != nil {
+		if err := vcabench.RunParallel(id, *seed, sc, *parallel, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

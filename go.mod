@@ -1,0 +1,3 @@
+module github.com/vcabench/vcabench
+
+go 1.24

@@ -9,9 +9,29 @@ import (
 	"github.com/vcabench/vcabench/internal/report"
 )
 
+// lagPair runs an ablation's two arms — baseline and counterfactual —
+// as a scheduled unit pair with the same study geometry. Each arm runs
+// on its own fork (keyed keyA/keyB, so shard seeds are stable) and the
+// counterfactual applies cfg to its shard before measuring.
+func lagPair(tb *Testbed, sc Scale, keyA, keyB string, kind platform.Kind,
+	host geo.Region, fleet []geo.Region, cfg platform.Config) (baseline, counter *LagStudyResult) {
+	(&Scheduler{TB: tb}).Run([]Unit{
+		{Key: keyA, Run: func(stb *Testbed) {
+			baseline = RunLagStudy(stb, kind, host, fleet, sc)
+		}},
+		{Key: keyB, Run: func(stb *Testbed) {
+			stb.OverridePlatform(cfg)
+			counter = RunLagStudy(stb, kind, host, fleet, sc)
+		}},
+	})
+	return baseline, counter
+}
+
 // ablations are design-choice benches beyond the paper: each flips one
 // inferred infrastructure property and re-measures, confirming that the
-// paper's observations are consequences of that property.
+// paper's observations are consequences of that property. The baseline
+// and counterfactual arms are independent campaign units scheduled in
+// parallel via lagPair.
 func ablations() []Experiment {
 	return []Experiment{
 		{
@@ -19,16 +39,12 @@ func ablations() []Experiment {
 			Title: "Webex with geo-local (paid-tier) relays",
 			Paper: "§6: paid Webex streams from close-by servers (RTT < 20ms)",
 			Run: func(tb *Testbed, sc Scale, w io.Writer) {
-				// Free tier baseline.
-				free := RunLagStudy(tb, platform.Webex, geo.CH, EULagFleet(geo.CH), sc)
-				// Paid tier: full geographic footprint.
-				paidTB := NewTestbed(tb.seed + 1)
 				cfg := platform.DefaultConfig(platform.Webex)
 				cfg.PaidTier = true
 				cfg.USPoPs = []geo.Region{geo.PoPUSEast, geo.PoPUSCentral, geo.PoPUSWest}
 				cfg.EUPoPs = []geo.Region{geo.PoPEUWest, geo.PoPEUCentral, geo.PoPEUNorth}
-				paidTB.OverridePlatform(cfg)
-				paid := RunLagStudy(paidTB, platform.Webex, geo.CH, EULagFleet(geo.CH), sc)
+				free, paid := lagPair(tb, sc, "ablate-webex-geo/free", "ablate-webex-geo/paid",
+					platform.Webex, geo.CH, EULagFleet(geo.CH), cfg)
 
 				t := report.Table{
 					Title:  "ablation: Webex free vs paid tier, host CH",
@@ -47,13 +63,11 @@ func ablations() []Experiment {
 			Title: "Meet forced onto a single-relay topology",
 			Paper: "tests whether Meet's EU advantage comes from per-client endpoints",
 			Run: func(tb *Testbed, sc Scale, w io.Writer) {
-				normal := RunLagStudy(tb, platform.Meet, geo.CH, EULagFleet(geo.CH), sc)
-				singleTB := NewTestbed(tb.seed + 2)
 				cfg := platform.DefaultConfig(platform.Meet)
 				cfg.PerClientEndpoints = false
 				cfg.EUPoPs = nil // US-only footprint, single session relay
-				singleTB.OverridePlatform(cfg)
-				single := RunLagStudy(singleTB, platform.Meet, geo.CH, EULagFleet(geo.CH), sc)
+				normal, single := lagPair(tb, sc, "ablate-meet-single/per-client", "ablate-meet-single/single-relay",
+					platform.Meet, geo.CH, EULagFleet(geo.CH), cfg)
 
 				t := report.Table{
 					Title:  "ablation: Meet per-client endpoints vs single US relay, host CH",
@@ -70,12 +84,10 @@ func ablations() []Experiment {
 			Title: "Zoom without regional load balancing",
 			Paper: "tests whether the 3 RTT bands of Figs 10a/11a come from the US-PoP lottery",
 			Run: func(tb *Testbed, sc Scale, w io.Writer) {
-				normal := RunLagStudy(tb, platform.Zoom, geo.CH, EULagFleet(geo.CH), sc)
-				noTB := NewTestbed(tb.seed + 3)
 				cfg := platform.DefaultConfig(platform.Zoom)
 				cfg.RegionalLB = false // always the nearest US PoP
-				noTB.OverridePlatform(cfg)
-				nolb := RunLagStudy(noTB, platform.Zoom, geo.CH, EULagFleet(geo.CH), sc)
+				normal, nolb := lagPair(tb, sc, "ablate-zoom-nolb/lb", "ablate-zoom-nolb/nolb",
+					platform.Zoom, geo.CH, EULagFleet(geo.CH), cfg)
 
 				t := report.Table{
 					Title:  "ablation: Zoom RTT spread with/without regional LB, host CH",
@@ -95,12 +107,10 @@ func ablations() []Experiment {
 			Title: "Zoom with P2P disabled for two-party calls",
 			Paper: "§4.2 footnote: N=2 streams peer-to-peer on ephemeral ports",
 			Run: func(tb *Testbed, sc Scale, w io.Writer) {
-				normal := RunLagStudy(tb, platform.Zoom, geo.USEast, []geo.Region{geo.USWest}, sc)
-				noTB := NewTestbed(tb.seed + 4)
 				cfg := platform.DefaultConfig(platform.Zoom)
 				cfg.P2PWhenPair = false
-				noTB.OverridePlatform(cfg)
-				relay := RunLagStudy(noTB, platform.Zoom, geo.USEast, []geo.Region{geo.USWest}, sc)
+				normal, relay := lagPair(tb, sc, "ablate-p2p/p2p", "ablate-p2p/relay",
+					platform.Zoom, geo.USEast, []geo.Region{geo.USWest}, cfg)
 
 				t := report.Table{
 					Title:  "ablation: Zoom two-party P2P vs forced relay (host US-East, peer US-West)",

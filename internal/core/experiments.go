@@ -24,6 +24,8 @@ type Experiment struct {
 // memo caches sweep results when several experiments share one campaign
 // (fig12/fig14/fig15 all come from the §4.3 US sweep).
 func (tb *Testbed) memoGet(key string) (any, bool) {
+	tb.memoMu.Lock()
+	defer tb.memoMu.Unlock()
 	if tb.memo == nil {
 		return nil, false
 	}
@@ -32,28 +34,52 @@ func (tb *Testbed) memoGet(key string) (any, bool) {
 }
 
 func (tb *Testbed) memoPut(key string, v any) {
+	tb.memoMu.Lock()
+	defer tb.memoMu.Unlock()
 	if tb.memo == nil {
 		tb.memo = make(map[string]any)
 	}
 	tb.memo[key] = v
 }
 
-// lagStudy memoizes RunLagStudy per (scenario, platform).
+// lagKey canonically names one (scenario, platform) lag campaign unit.
+func lagKey(sce LagScenario, kind platform.Kind) string {
+	return "lag/" + sce.ID + "/" + string(kind)
+}
+
+// lagStudy memoizes RunLagStudy per (scenario, platform), each unit on
+// its own fork so the result depends only on (seed, scenario, platform)
+// and never on what ran before it.
 func lagStudy(tb *Testbed, sc Scale, sce LagScenario, kind platform.Kind) *LagStudyResult {
-	key := "lag/" + sce.ID + "/" + string(kind)
-	if v, ok := tb.memoGet(key); ok {
-		return v.(*LagStudyResult)
+	res := tb.runMemoized([]string{lagKey(sce, kind)}, func(stb *Testbed, _ int) any {
+		return RunLagStudy(stb, kind, sce.Host, sce.Fleet, sc)
+	})
+	return res[0].(*LagStudyResult)
+}
+
+// lagStudyAll runs one scenario's full platform sweep — the campaign
+// behind each of Figs 4-11 — with the three platform units in parallel.
+func lagStudyAll(tb *Testbed, sc Scale, sce LagScenario) map[platform.Kind]*LagStudyResult {
+	keys := make([]string, len(platform.Kinds))
+	for i, k := range platform.Kinds {
+		keys[i] = lagKey(sce, k)
 	}
-	r := RunLagStudy(tb, kind, sce.Host, sce.Fleet, sc)
-	tb.memoPut(key, r)
-	return r
+	res := tb.runMemoized(keys, func(stb *Testbed, i int) any {
+		return RunLagStudy(stb, platform.Kinds[i], sce.Host, sce.Fleet, sc)
+	})
+	out := make(map[platform.Kind]*LagStudyResult, len(res))
+	for i, k := range platform.Kinds {
+		out[k] = res[i].(*LagStudyResult)
+	}
+	return out
 }
 
 // lagFigure renders one of Figs 4-7.
 func lagFigure(sce LagScenario) func(tb *Testbed, sc Scale, w io.Writer) {
 	return func(tb *Testbed, sc Scale, w io.Writer) {
+		studies := lagStudyAll(tb, sc, sce)
 		for _, kind := range platform.Kinds {
-			r := lagStudy(tb, sc, sce, kind)
+			r := studies[kind]
 			plot := report.CDFPlot{
 				Title:  fmt.Sprintf("%s: streaming lag CDF, host %s, %s", sce.ID, sce.Host.Name, kind),
 				XLabel: "video lag (ms)",
@@ -70,8 +96,9 @@ func lagFigure(sce LagScenario) func(tb *Testbed, sc Scale, w io.Writer) {
 // rttFigure renders one of Figs 8-11 (service proximity).
 func rttFigure(sce LagScenario, figID string) func(tb *Testbed, sc Scale, w io.Writer) {
 	return func(tb *Testbed, sc Scale, w io.Writer) {
+		studies := lagStudyAll(tb, sc, sce)
 		for _, kind := range platform.Kinds {
-			r := lagStudy(tb, sc, sce, kind)
+			r := studies[kind]
 			t := report.Table{
 				Title:  fmt.Sprintf("%s: RTT to service endpoints, host %s, %s", figID, sce.Host.Name, kind),
 				Header: []string{"client", "sessions", "min ms", "median ms", "max ms"},
@@ -98,24 +125,82 @@ type fig12Key struct {
 	n      int
 }
 
-// fig12Sweep memoizes the §4.3.1 US campaign.
-func fig12Sweep(tb *Testbed, sc Scale) map[fig12Key]*QoEStudyResult {
-	if v, ok := tb.memoGet("fig12sweep"); ok {
-		return v.(map[fig12Key]*QoEStudyResult)
-	}
-	out := make(map[fig12Key]*QoEStudyResult)
+// unitKey canonically names one US-sweep cell.
+func (k fig12Key) unitKey() string {
+	return fmt.Sprintf("fig12/%s/%s/%d", k.kind, k.motion, k.n)
+}
+
+// fig12Cells enumerates the §4.3.1 US campaign in canonical order:
+// 3 platforms × 5 sizes × 2 motion classes = 30 independent units.
+func fig12Cells() []fig12Key {
+	var cells []fig12Key
 	for _, kind := range platform.Kinds {
-		for n := 2; n <= 6; n++ {
+		for _, n := range sessionSizes() {
 			for _, motion := range []media.MotionClass{media.LowMotion, media.HighMotion} {
-				res := RunQoEStudy(tb, kind, geo.USEast,
-					QoEReceiverRegions(geo.ZoneUS, n-1), motion, sc, QoEOpts{})
-				out[fig12Key{kind, motion, n}] = res
+				cells = append(cells, fig12Key{kind, motion, n})
 			}
 		}
 	}
-	tb.memoPut("fig12sweep", out)
+	return cells
+}
+
+// fig12Sweep runs (or recalls) the §4.3.1 US campaign, sharding its 30
+// cells across the scheduler. fig12, fig14 and fig15 all read this.
+func fig12Sweep(tb *Testbed, sc Scale) map[fig12Key]*QoEStudyResult {
+	cells := fig12Cells()
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		keys[i] = c.unitKey()
+	}
+	res := tb.runMemoized(keys, func(stb *Testbed, i int) any {
+		c := cells[i]
+		return RunQoEStudy(stb, c.kind, geo.USEast,
+			QoEReceiverRegions(geo.ZoneUS, c.n-1), c.motion, sc, QoEOpts{})
+	})
+	out := make(map[fig12Key]*QoEStudyResult, len(cells))
+	for i, c := range cells {
+		out[c] = res[i].(*QoEStudyResult)
+	}
 	return out
 }
+
+// qoeCells runs an arbitrary QoE sweep through the scheduler: one unit
+// per key, results in key order. keyFor must be injective and stable —
+// it both names the memo entry and derives the shard seed.
+func qoeCells(tb *Testbed, n int, keyFor func(i int) string,
+	run func(stb *Testbed, i int) *QoEStudyResult) []*QoEStudyResult {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = keyFor(i)
+	}
+	res := tb.runMemoized(keys, func(stb *Testbed, i int) any { return run(stb, i) })
+	out := make([]*QoEStudyResult, n)
+	for i, v := range res {
+		out[i] = v.(*QoEStudyResult)
+	}
+	return out
+}
+
+// qoeGrid runs a (row, platform) QoE sweep — the Figs 16-18 table
+// shape — sharding all len(rows)×len(Kinds) cells together, then
+// handing each row its results in platform order for rendering.
+func qoeGrid[R any](tb *Testbed, rows []R,
+	keyFor func(r R, k platform.Kind) string,
+	run func(stb *Testbed, r R, k platform.Kind) *QoEStudyResult,
+	emit func(r R, res []*QoEStudyResult)) {
+	nk := len(platform.Kinds)
+	res := qoeCells(tb, len(rows)*nk,
+		func(i int) string { return keyFor(rows[i/nk], platform.Kinds[i%nk]) },
+		func(stb *Testbed, i int) *QoEStudyResult {
+			return run(stb, rows[i/nk], platform.Kinds[i%nk])
+		})
+	for ri, r := range rows {
+		emit(r, res[ri*nk:(ri+1)*nk])
+	}
+}
+
+// sessionSizes is the paper's Figs 12-16 session-size axis.
+func sessionSizes() []int { return []int{2, 3, 4, 5, 6} }
 
 func qoeTable(w io.Writer, title string, sweep map[fig12Key]*QoEStudyResult, motion media.MotionClass, metric func(*QoEStudyResult) float64) {
 	t := report.Table{
@@ -125,7 +210,7 @@ func qoeTable(w io.Writer, title string, sweep map[fig12Key]*QoEStudyResult, mot
 	for _, k := range platform.Kinds {
 		t.Header = append(t.Header, string(k))
 	}
-	for n := 2; n <= 6; n++ {
+	for _, n := range sessionSizes() {
 		row := []any{n}
 		for _, k := range platform.Kinds {
 			if r, ok := sweep[fig12Key{k, motion, n}]; ok {
@@ -158,9 +243,14 @@ func Experiments() []Experiment {
 					Title:  "Table 1: one-on-one calls",
 					Header: []string{"platform", "vendor low", "vendor high", "measured down Mbps", "measured up Mbps"},
 				}
-				for _, kind := range platform.Kinds {
-					r := RunQoEStudy(tb, kind, geo.USEast, []geo.Region{geo.USEast2},
-						media.HighMotion, sc, QoEOpts{})
+				cells := qoeCells(tb, len(platform.Kinds),
+					func(i int) string { return "table1/" + string(platform.Kinds[i]) },
+					func(stb *Testbed, i int) *QoEStudyResult {
+						return RunQoEStudy(stb, platform.Kinds[i], geo.USEast, []geo.Region{geo.USEast2},
+							media.HighMotion, sc, QoEOpts{})
+					})
+				for i, kind := range platform.Kinds {
+					r := cells[i]
 					t.AddRow(string(kind), vendorMin[kind][0], vendorMin[kind][1],
 						r.DownMbps.Mean(), r.UpMbps.Mean())
 				}
@@ -242,8 +332,9 @@ func Experiments() []Experiment {
 					platform.Webex: "single endpoint per session",
 					platform.Meet:  "per-client endpoints, cross-relay",
 				}
+				studies := lagStudyAll(tb, sc, sces[0])
 				for _, kind := range platform.Kinds {
-					r := lagStudy(tb, sc, sces[0], kind)
+					r := studies[kind]
 					t.AddRow(string(kind), r.Endpoints.Sessions, r.Endpoints.Total,
 						r.Endpoints.PerSession, topo[kind])
 				}
@@ -277,16 +368,21 @@ func Experiments() []Experiment {
 			Paper: "drop is significant (one MOS level); Webex's worsens with N",
 			Run: func(tb *Testbed, sc Scale, w io.Writer) {
 				sweep := fig12Sweep(tb, sc)
-				for name, metric := range map[string]func(*QoEStudyResult) float64{
-					"PSNR degradation (dB)": func(r *QoEStudyResult) float64 { return r.PSNR.Mean() },
-					"SSIM degradation":      func(r *QoEStudyResult) float64 { return r.SSIM.Mean() },
-					"VIFp degradation":      func(r *QoEStudyResult) float64 { return r.VIFP.Mean() },
+				// Fixed slice, not a map: render order must be deterministic.
+				for _, m := range []struct {
+					name   string
+					metric func(*QoEStudyResult) float64
+				}{
+					{"PSNR degradation (dB)", func(r *QoEStudyResult) float64 { return r.PSNR.Mean() }},
+					{"SSIM degradation", func(r *QoEStudyResult) float64 { return r.SSIM.Mean() }},
+					{"VIFp degradation", func(r *QoEStudyResult) float64 { return r.VIFP.Mean() }},
 				} {
+					name, metric := m.name, m.metric
 					t := report.Table{Title: "fig14: " + name, Header: []string{"N"}}
 					for _, k := range platform.Kinds {
 						t.Header = append(t.Header, string(k))
 					}
-					for n := 2; n <= 6; n++ {
+					for _, n := range sessionSizes() {
 						row := []any{n}
 						for _, k := range platform.Kinds {
 							lm := sweep[fig12Key{k, media.LowMotion, n}]
@@ -314,7 +410,7 @@ func Experiments() []Experiment {
 					for _, k := range platform.Kinds {
 						t.Header = append(t.Header, string(k)+"-up", string(k)+"-down")
 					}
-					for n := 2; n <= 6; n++ {
+					for _, n := range sessionSizes() {
 						row := []any{n}
 						for _, k := range platform.Kinds {
 							r := sweep[fig12Key{k, m, n}]
@@ -336,15 +432,19 @@ func Experiments() []Experiment {
 				for _, k := range platform.Kinds {
 					t.Header = append(t.Header, string(k)+"-PSNR", string(k)+"-SSIM", string(k)+"-VIFp")
 				}
-				for n := 2; n <= 6; n++ {
-					row := []any{n}
-					for _, k := range platform.Kinds {
-						r := RunQoEStudy(tb, k, geo.CH, QoEReceiverRegions(geo.ZoneEU, n-1),
+				qoeGrid(tb, sessionSizes(),
+					func(n int, k platform.Kind) string { return fmt.Sprintf("fig16/%s/%d", k, n) },
+					func(stb *Testbed, n int, k platform.Kind) *QoEStudyResult {
+						return RunQoEStudy(stb, k, geo.CH, QoEReceiverRegions(geo.ZoneEU, n-1),
 							media.HighMotion, sc, QoEOpts{})
-						row = append(row, r.PSNR.Mean(), r.SSIM.Mean(), r.VIFP.Mean())
-					}
-					t.AddRow(row...)
-				}
+					},
+					func(n int, res []*QoEStudyResult) {
+						row := []any{n}
+						for _, r := range res {
+							row = append(row, r.PSNR.Mean(), r.SSIM.Mean(), r.VIFP.Mean())
+						}
+						t.AddRow(row...)
+					})
 				t.Render(w)
 			},
 		},
@@ -353,23 +453,43 @@ func Experiments() []Experiment {
 			Title: "Video QoE under bandwidth caps",
 			Paper: "Zoom best >=500k with a 250k cliff; Meet most graceful; Webex collapses <=1M (stalls)",
 			Run: func(tb *Testbed, sc Scale, w io.Writer) {
-				for _, m := range []media.MotionClass{media.LowMotion, media.HighMotion} {
-					t := report.Table{
+				motions := []media.MotionClass{media.LowMotion, media.HighMotion}
+				tables := make([]*report.Table, len(motions))
+				for i, m := range motions {
+					tables[i] = &report.Table{
 						Title:  fmt.Sprintf("fig17 %s: QoE vs downlink cap", m),
 						Header: []string{"cap"},
 					}
 					for _, k := range platform.Kinds {
-						t.Header = append(t.Header, string(k)+"-PSNR", string(k)+"-SSIM", string(k)+"-VIFp", string(k)+"-freeze")
+						tables[i].Header = append(tables[i].Header, string(k)+"-PSNR", string(k)+"-SSIM", string(k)+"-VIFp", string(k)+"-freeze")
 					}
+				}
+				type capRow struct {
+					mi  int
+					cap int64
+				}
+				var rows []capRow
+				for mi := range motions {
 					for _, cap := range BandwidthCaps {
-						row := []any{CapLabel(cap)}
-						for _, k := range platform.Kinds {
-							r := RunQoEStudy(tb, k, geo.USEast, []geo.Region{geo.USEast2},
-								m, sc, QoEOpts{DownlinkCapBps: cap})
-							row = append(row, r.PSNR.Mean(), r.SSIM.Mean(), r.VIFP.Mean(), r.Freeze.Mean())
-						}
-						t.AddRow(row...)
+						rows = append(rows, capRow{mi, cap})
 					}
+				}
+				qoeGrid(tb, rows,
+					func(r capRow, k platform.Kind) string {
+						return fmt.Sprintf("fig17/%s/%s/%d", k, motions[r.mi], r.cap)
+					},
+					func(stb *Testbed, r capRow, k platform.Kind) *QoEStudyResult {
+						return RunQoEStudy(stb, k, geo.USEast, []geo.Region{geo.USEast2},
+							motions[r.mi], sc, QoEOpts{DownlinkCapBps: r.cap})
+					},
+					func(r capRow, res []*QoEStudyResult) {
+						row := []any{CapLabel(r.cap)}
+						for _, q := range res {
+							row = append(row, q.PSNR.Mean(), q.SSIM.Mean(), q.VIFP.Mean(), q.Freeze.Mean())
+						}
+						tables[r.mi].AddRow(row...)
+					})
+				for _, t := range tables {
 					t.Render(w)
 					fmt.Fprintln(w)
 				}
@@ -387,15 +507,19 @@ func Experiments() []Experiment {
 				for _, k := range platform.Kinds {
 					t.Header = append(t.Header, string(k))
 				}
-				for _, cap := range BandwidthCaps {
-					row := []any{CapLabel(cap)}
-					for _, k := range platform.Kinds {
-						r := RunQoEStudy(tb, k, geo.USEast, []geo.Region{geo.USEast2},
+				qoeGrid(tb, BandwidthCaps,
+					func(cap int64, k platform.Kind) string { return fmt.Sprintf("fig18/%s/%d", k, cap) },
+					func(stb *Testbed, cap int64, k platform.Kind) *QoEStudyResult {
+						return RunQoEStudy(stb, k, geo.USEast, []geo.Region{geo.USEast2},
 							media.LowMotion, sc, QoEOpts{DownlinkCapBps: cap, WithAudio: true})
-						row = append(row, r.MOS.Mean())
-					}
-					t.AddRow(row...)
-				}
+					},
+					func(cap int64, res []*QoEStudyResult) {
+						row := []any{CapLabel(cap)}
+						for _, r := range res {
+							row = append(row, r.MOS.Mean())
+						}
+						t.AddRow(row...)
+					})
 				t.Render(w)
 			},
 		},

@@ -44,14 +44,32 @@ func runLastMile(tb *Testbed, sc Scale, w io.Writer) {
 		Title:  "ext-lastmile: fluctuating 1.5Mbps <-> 300kbps downlink (HM feed)",
 		Header: []string{"platform", "fluct PSNR", "fluct SSIM", "fluct freeze", "steady-300k SSIM", "steady-1.5M SSIM"},
 	}
-	for _, kind := range platform.Kinds {
-		fl := runFluctuating(tb, kind, sc, 1_500_000, 300_000, 4*time.Second)
-		lo := RunQoEStudy(tb, kind, geo.USEast, []geo.Region{geo.USEast2},
-			media.HighMotion, sc, QoEOpts{DownlinkCapBps: 300_000})
-		hi := RunQoEStudy(tb, kind, geo.USEast, []geo.Region{geo.USEast2},
-			media.HighMotion, sc, QoEOpts{DownlinkCapBps: 1_500_000})
-		t.AddRow(string(kind), fl.PSNR.Mean(), fl.SSIM.Mean(), fl.Freeze.Mean(),
-			lo.SSIM.Mean(), hi.SSIM.Mean())
+	// One unit per (platform, condition): fluctuating, steady-low,
+	// steady-high — nine shards scheduled together.
+	type arm struct{ fl, lo, hi *QoEStudyResult }
+	arms := make([]arm, len(platform.Kinds))
+	var units []Unit
+	for i, kind := range platform.Kinds {
+		i, kind := i, kind
+		units = append(units,
+			Unit{Key: "ext-lastmile/" + string(kind) + "/fluct", Run: func(stb *Testbed) {
+				arms[i].fl = runFluctuating(stb, kind, sc, 1_500_000, 300_000, 4*time.Second)
+			}},
+			Unit{Key: "ext-lastmile/" + string(kind) + "/steady-300k", Run: func(stb *Testbed) {
+				arms[i].lo = RunQoEStudy(stb, kind, geo.USEast, []geo.Region{geo.USEast2},
+					media.HighMotion, sc, QoEOpts{DownlinkCapBps: 300_000})
+			}},
+			Unit{Key: "ext-lastmile/" + string(kind) + "/steady-1.5M", Run: func(stb *Testbed) {
+				arms[i].hi = RunQoEStudy(stb, kind, geo.USEast, []geo.Region{geo.USEast2},
+					media.HighMotion, sc, QoEOpts{DownlinkCapBps: 1_500_000})
+			}},
+		)
+	}
+	(&Scheduler{TB: tb}).Run(units)
+	for i, kind := range platform.Kinds {
+		a := arms[i]
+		t.AddRow(string(kind), a.fl.PSNR.Mean(), a.fl.SSIM.Mean(), a.fl.Freeze.Mean(),
+			a.lo.SSIM.Mean(), a.hi.SSIM.Mean())
 	}
 	t.Render(w)
 	fmt.Fprintln(w, "\nA platform that adapts quickly should land near its steady-state")
@@ -89,14 +107,18 @@ func runScaleStudy(tb *Testbed, sc Scale, w io.Writer) {
 	for _, k := range platform.Kinds {
 		t.Header = append(t.Header, string(k)+"-SSIM", string(k)+"-up Mbps", string(k)+"-down Mbps")
 	}
-	for _, n := range []int{2, 6, 11} {
-		row := []any{n}
-		for _, k := range platform.Kinds {
-			r := RunQoEStudy(tb, k, geo.USEast, QoEReceiverRegions(geo.ZoneUS, n-1),
+	qoeGrid(tb, []int{2, 6, 11},
+		func(n int, k platform.Kind) string { return fmt.Sprintf("ext-scale/%s/%d", k, n) },
+		func(stb *Testbed, n int, k platform.Kind) *QoEStudyResult {
+			return RunQoEStudy(stb, k, geo.USEast, QoEReceiverRegions(geo.ZoneUS, n-1),
 				media.HighMotion, sc, QoEOpts{})
-			row = append(row, r.SSIM.Mean(), r.UpMbps.Mean(), r.DownMbps.Mean())
-		}
-		t.AddRow(row...)
-	}
+		},
+		func(n int, res []*QoEStudyResult) {
+			row := []any{n}
+			for _, r := range res {
+				row = append(row, r.SSIM.Mean(), r.UpMbps.Mean(), r.DownMbps.Mean())
+			}
+			t.AddRow(row...)
+		})
 	t.Render(w)
 }

@@ -68,8 +68,7 @@ func RunLagStudy(tb *Testbed, kind platform.Kind, host geo.Region, others []geo.
 		Lags: make(map[string]*stats.Sample),
 		RTTs: make(map[string]*stats.Sample),
 	}
-	for i, r := range others {
-		_ = i
+	for _, r := range others {
 		res.Lags[r.Name] = stats.NewSample(0)
 		res.RTTs[r.Name] = stats.NewSample(0)
 	}

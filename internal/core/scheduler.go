@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the campaign scheduler: the paper's evaluation is a set
+// of campaigns made of many independent units — one (platform, scenario)
+// lag study per Figs 4-11 column, one (platform, size, motion) cell per
+// Figs 12-15 sweep point, one arm per ablation — and real measurement
+// fans these across client machines. Here each unit runs on its own
+// forked Testbed whose seed is derived from the unit's canonical key,
+// so results depend only on (base seed, unit key): the same bytes come
+// out whether the campaign runs on one worker or sixteen, and whether a
+// unit runs first or last.
+
+// shardSeed derives a unit's seed from the campaign's base seed and the
+// unit's canonical key. Hashing the key (rather than, say, a worker or
+// loop index) is what makes results independent of scheduling order.
+func shardSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	h.Write([]byte(key))
+	return int64(h.Sum64())
+}
+
+// Fork creates an independent testbed for one campaign unit: fresh
+// simulator, fresh network, fresh platform instances, seeded by
+// shardSeed(tb.seed, unitKey). Platform overrides registered on the
+// parent (the ablation mechanism) carry over; instantiated platforms do
+// not — a fork always provisions its own. Forks default to serial
+// scheduling so nested campaigns don't multiply workers.
+func (tb *Testbed) Fork(unitKey string) *Testbed {
+	ntb := NewTestbed(shardSeed(tb.seed, unitKey))
+	ntb.parallelism = 1
+	for k, cfg := range tb.overrides {
+		ntb.overrides[k] = cfg
+	}
+	return ntb
+}
+
+// SetParallelism sets the campaign worker count (<=0 restores the
+// default, runtime.GOMAXPROCS(0)) and returns tb for chaining.
+func (tb *Testbed) SetParallelism(n int) *Testbed {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	tb.parallelism = n
+	return tb
+}
+
+// Parallelism reports the campaign worker count.
+func (tb *Testbed) Parallelism() int { return tb.parallelism }
+
+// Unit is one independent campaign shard: a canonical key (which names
+// it in the memo table and derives its seed) and the work itself,
+// executed against a testbed forked for that key.
+type Unit struct {
+	Key string
+	Run func(stb *Testbed)
+}
+
+// Scheduler fans campaign units across a bounded worker pool. Each unit
+// runs on TB.Fork(unit.Key); the pool size only changes wall-clock
+// time, never results. Run returns once every unit has finished, so
+// callers may merge unit outputs without further synchronization.
+type Scheduler struct {
+	TB *Testbed
+	// Workers bounds the pool; <=0 means TB.Parallelism().
+	Workers int
+}
+
+// Run executes every unit and waits for completion. A panicking unit is
+// re-panicked on the caller's goroutine after the pool drains.
+func (s *Scheduler) Run(units []Unit) {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = s.TB.Parallelism()
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for _, u := range units {
+			u.Run(s.TB.Fork(u.Key))
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(units) {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+							// Stop dispatching further units; in-flight
+							// ones drain, then the caller re-panics.
+							next.Store(int64(len(units)))
+						}
+					}()
+					units[i].Run(s.TB.Fork(units[i].Key))
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// runMemoized is the memo-aware front of the scheduler: it returns the
+// results for keys in the given (canonical) order, running only the
+// units missing from the memo table — in parallel, each on its own
+// fork. Experiments that share a campaign (fig12/fig14/fig15 all read
+// the §4.3.1 US sweep; Figs 4-11 share four lag campaigns) hit the memo
+// on every call after the first.
+func (tb *Testbed) runMemoized(keys []string, run func(stb *Testbed, i int) any) []any {
+	out := make([]any, len(keys))
+	var missing []int
+	for i, k := range keys {
+		if v, ok := tb.memoGet(k); ok {
+			out[i] = v
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return out
+	}
+	units := make([]Unit, len(missing))
+	for j, i := range missing {
+		i := i
+		units[j] = Unit{Key: keys[i], Run: func(stb *Testbed) {
+			out[i] = run(stb, i)
+		}}
+	}
+	(&Scheduler{TB: tb}).Run(units)
+	for _, i := range missing {
+		tb.memoPut(keys[i], out[i])
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/vcabench/vcabench/internal/platform"
+)
+
+func TestShardSeedDerivation(t *testing.T) {
+	if shardSeed(42, "lag/fig4/zoom") != shardSeed(42, "lag/fig4/zoom") {
+		t.Error("shard seed not stable for the same (base, key)")
+	}
+	if shardSeed(42, "lag/fig4/zoom") == shardSeed(42, "lag/fig4/webex") {
+		t.Error("different keys should derive different seeds")
+	}
+	if shardSeed(42, "lag/fig4/zoom") == shardSeed(43, "lag/fig4/zoom") {
+		t.Error("different base seeds should derive different shard seeds")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	tb := NewTestbed(42)
+	a, b := tb.Fork("unit-a"), tb.Fork("unit-a")
+	if a.seed != b.seed {
+		t.Error("same key should fork the same seed")
+	}
+	if a.seed == tb.Fork("unit-b").seed {
+		t.Error("different keys should fork different seeds")
+	}
+	if a.Sim == tb.Sim || a.Net == tb.Net {
+		t.Error("fork must not share the parent's simulator or network")
+	}
+	if a.Parallelism() != 1 {
+		t.Errorf("fork parallelism = %d, want 1 (no nested fan-out)", a.Parallelism())
+	}
+	// Overrides registered on the parent carry into forks.
+	cfg := platform.DefaultConfig(platform.Zoom)
+	cfg.P2PWhenPair = false
+	tb.OverridePlatform(cfg)
+	f := tb.Fork("unit-c")
+	if got, ok := f.overrides[platform.Zoom]; !ok || got.P2PWhenPair {
+		t.Error("platform override did not carry into the fork")
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	tb := NewTestbed(1)
+	if tb.Parallelism() < 1 {
+		t.Errorf("default parallelism = %d, want >= 1", tb.Parallelism())
+	}
+	if got := tb.SetParallelism(4).Parallelism(); got != 4 {
+		t.Errorf("SetParallelism(4) = %d", got)
+	}
+	if got := tb.SetParallelism(0).Parallelism(); got < 1 {
+		t.Errorf("SetParallelism(0) should restore the default, got %d", got)
+	}
+}
+
+// The scheduler must run every unit exactly once, on a fork seeded by
+// the unit key, regardless of worker count.
+func TestSchedulerRunsEveryUnitOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		tb := NewTestbed(7).SetParallelism(workers)
+		var mu sync.Mutex
+		seen := map[string]int64{}
+		var units []Unit
+		for _, key := range []string{"u1", "u2", "u3", "u4", "u5", "u6", "u7"} {
+			key := key
+			units = append(units, Unit{Key: key, Run: func(stb *Testbed) {
+				mu.Lock()
+				defer mu.Unlock()
+				if _, dup := seen[key]; dup {
+					t.Errorf("workers=%d: unit %s ran twice", workers, key)
+				}
+				seen[key] = stb.seed
+			}})
+		}
+		(&Scheduler{TB: tb}).Run(units)
+		if len(seen) != len(units) {
+			t.Fatalf("workers=%d: ran %d units, want %d", workers, len(seen), len(units))
+		}
+		for key, seed := range seen {
+			if want := shardSeed(7, key); seed != want {
+				t.Errorf("workers=%d: unit %s got seed %d, want shardSeed %d", workers, key, seed, want)
+			}
+		}
+	}
+}
+
+func TestSchedulerPropagatesPanic(t *testing.T) {
+	tb := NewTestbed(8).SetParallelism(4)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	(&Scheduler{TB: tb}).Run([]Unit{
+		{Key: "ok", Run: func(*Testbed) {}},
+		{Key: "bad", Run: func(*Testbed) { panic("boom") }},
+		{Key: "ok2", Run: func(*Testbed) {}},
+		{Key: "ok3", Run: func(*Testbed) {}},
+		{Key: "ok4", Run: func(*Testbed) {}},
+	})
+}
+
+// runMemoized must compute each key once and serve repeats from the
+// memo — including under concurrent access to the memo table.
+func TestRunMemoized(t *testing.T) {
+	tb := NewTestbed(9).SetParallelism(4)
+	var calls atomic.Int64
+	run := func(stb *Testbed, i int) any {
+		calls.Add(1)
+		return stb.seed
+	}
+	keys := []string{"a", "b", "c"}
+	first := tb.runMemoized(keys, run)
+	again := tb.runMemoized(keys, run)
+	if calls.Load() != int64(len(keys)) {
+		t.Errorf("ran %d units, want %d (memo miss on repeat?)", calls.Load(), len(keys))
+	}
+	for i := range keys {
+		if first[i] != again[i] {
+			t.Errorf("memoized result for %q changed between calls", keys[i])
+		}
+		if first[i].(int64) != shardSeed(9, keys[i]) {
+			t.Errorf("unit %q did not run on its keyed fork", keys[i])
+		}
+	}
+	// Partial overlap: only the new key runs.
+	tb.runMemoized([]string{"b", "d"}, run)
+	if calls.Load() != int64(len(keys))+1 {
+		t.Errorf("partial-overlap call ran %d total units, want %d", calls.Load(), len(keys)+1)
+	}
+}
+
+// renderParallel renders one experiment at an explicit worker count.
+func renderParallel(t *testing.T, id string, workers int) string {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("missing experiment %s", id)
+	}
+	var sb strings.Builder
+	e.Run(NewTestbed(42).SetParallelism(workers), TinyScale, &sb)
+	return sb.String()
+}
+
+// The campaign scheduler's core contract: same seed => same artifact
+// bytes, whether the campaign runs serially or on four workers.
+func TestLagFigureParallelDeterminism(t *testing.T) {
+	serial := renderParallel(t, "fig4", 1)
+	parallel := renderParallel(t, "fig4", 4)
+	if serial != parallel {
+		t.Errorf("fig4 output differs between 1 and 4 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if len(serial) < 100 {
+		t.Errorf("fig4 output suspiciously short:\n%s", serial)
+	}
+}
+
+func TestFig12SweepParallelDeterminism(t *testing.T) {
+	serial := renderParallel(t, "fig12", 1)
+	parallel := renderParallel(t, "fig12", 4)
+	if serial != parallel {
+		t.Errorf("fig12 output differs between 1 and 4 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if len(serial) < 100 {
+		t.Errorf("fig12 output suspiciously short:\n%s", serial)
+	}
+}
+
+// The ablation arms run through the scheduler too; make sure the
+// counterfactual override lands on the right shard at any worker count.
+func TestAblationParallelDeterminism(t *testing.T) {
+	serial := renderParallel(t, "ablate-p2p", 1)
+	parallel := renderParallel(t, "ablate-p2p", 4)
+	if serial != parallel {
+		t.Errorf("ablate-p2p output differs between 1 and 4 workers:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+// Campaign sharing: figures drawn from the same campaign (fig4 lag CDFs
+// and fig8 RTT tables both read the fig4 scenario's lag studies) must
+// reuse memoized units instead of re-running them.
+func TestCampaignMemoSharing(t *testing.T) {
+	tb := NewTestbed(42).SetParallelism(2)
+	sce := LagScenarios()[0]
+	first := lagStudyAll(tb, TinyScale, sce)
+	if again := lagStudy(tb, TinyScale, sce, platform.Zoom); again != first[platform.Zoom] {
+		t.Error("lagStudy did not reuse the memoized campaign unit")
+	}
+}

@@ -8,6 +8,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"github.com/vcabench/vcabench/internal/capture"
@@ -28,7 +30,16 @@ type Testbed struct {
 	platforms map[platform.Kind]*platform.Platform
 	overrides map[platform.Kind]platform.Config
 	nameSeq   int
-	memo      map[string]any
+
+	// parallelism is the campaign worker count (see scheduler.go).
+	parallelism int
+
+	// memo caches campaign-unit results shared between experiments.
+	// Today runMemoized only touches it from the caller's goroutine
+	// (before dispatch and after the pool drains); the lock keeps the
+	// table safe if experiment drivers ever run concurrently.
+	memoMu sync.Mutex
+	memo   map[string]any
 }
 
 // NewTestbed creates a testbed seeded for reproducibility. The core
@@ -39,11 +50,12 @@ type Testbed struct {
 func NewTestbed(seed int64) *Testbed {
 	sim := simnet.NewSim(seed)
 	return &Testbed{
-		Sim:       sim,
-		Net:       simnet.NewNetwork(sim, simnet.NetworkConfig{DistLossPer100ms: 0.002}),
-		seed:      seed,
-		platforms: make(map[platform.Kind]*platform.Platform),
-		overrides: make(map[platform.Kind]platform.Config),
+		Sim:         sim,
+		Net:         simnet.NewNetwork(sim, simnet.NetworkConfig{DistLossPer100ms: 0.002}),
+		seed:        seed,
+		platforms:   make(map[platform.Kind]*platform.Platform),
+		overrides:   make(map[platform.Kind]platform.Config),
+		parallelism: runtime.GOMAXPROCS(0),
 	}
 }
 

@@ -18,6 +18,14 @@
 //	    vcabench.USLagFleet(vcabench.USEast), vcabench.QuickScale)
 //	fmt.Println(res.Lags["US-West"].Median())
 //
+// Campaign experiments (the lag figures, the Figs 12-18 sweeps, the
+// ablations) shard their independent units across a worker pool of
+// Parallelism() workers — default runtime.GOMAXPROCS(0). Each unit runs
+// on a testbed fork whose seed derives from the unit's canonical key,
+// so rendered output is byte-identical at any worker count; only
+// wall-clock time changes. Use NewTestbedParallel, RunParallel or
+// Testbed.SetParallelism to pin the pool size (1 means serial).
+//
 // Everything is deterministic for a given seed, uses only the standard
 // library, and runs in virtual time.
 package vcabench
@@ -58,6 +66,10 @@ type (
 	Experiment = core.Experiment
 	// Region is a geographic vantage point or PoP.
 	Region = geo.Region
+	// Scheduler fans independent campaign units across a worker pool.
+	Scheduler = core.Scheduler
+	// Unit is one independent campaign shard for the Scheduler.
+	Unit = core.Unit
 )
 
 // Scales.
@@ -81,8 +93,16 @@ const (
 	HighMotion = media.HighMotion
 )
 
-// NewTestbed provisions a deterministic testbed.
+// NewTestbed provisions a deterministic testbed with the default
+// campaign parallelism, runtime.GOMAXPROCS(0).
 func NewTestbed(seed int64) *Testbed { return core.NewTestbed(seed) }
+
+// NewTestbedParallel provisions a testbed with an explicit campaign
+// worker count; workers <= 0 selects the default. Worker count never
+// changes results, only wall-clock time.
+func NewTestbedParallel(seed int64, workers int) *Testbed {
+	return core.NewTestbed(seed).SetParallelism(workers)
+}
 
 // USLagFleet and EULagFleet build the Table-3 participant sets for a host.
 func USLagFleet(host Region) []Region { return core.USLagFleet(host) }
@@ -105,12 +125,20 @@ func RunQoEStudy(tb *Testbed, kind platform.Kind, host Region, recvs []Region,
 func List() []Experiment { return core.Experiments() }
 
 // Run executes one artifact by ID at the given scale, writing its
-// rendered tables/plots to w.
+// rendered tables/plots to w. Campaign units run on the default worker
+// pool; see RunParallel to pin the pool size.
 func Run(id string, seed int64, sc Scale, w io.Writer) error {
+	return RunParallel(id, seed, sc, 0, w)
+}
+
+// RunParallel is Run with an explicit campaign worker count
+// (workers <= 0 means runtime.GOMAXPROCS(0), 1 means serial). Output is
+// byte-identical at any worker count for the same seed and scale.
+func RunParallel(id string, seed int64, sc Scale, workers int, w io.Writer) error {
 	e, ok := core.Lookup(id)
 	if !ok {
 		return fmt.Errorf("vcabench: unknown experiment %q (use List)", id)
 	}
-	e.Run(core.NewTestbed(seed), sc, w)
+	e.Run(core.NewTestbed(seed).SetParallelism(workers), sc, w)
 	return nil
 }

@@ -39,6 +39,21 @@ func TestListAndRun(t *testing.T) {
 	}
 }
 
+// RunParallel's contract through the public facade: worker count never
+// changes the rendered bytes.
+func TestRunParallelDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		var sb strings.Builder
+		if err := vcabench.RunParallel("fig3", 7, vcabench.TinyScale, workers, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := render(1), render(4); a != b {
+		t.Errorf("fig3 differs between 1 and 4 workers:\n%s\nvs\n%s", a, b)
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	run := func() string {
 		var sb strings.Builder
