@@ -1,13 +1,22 @@
-// Command vcabench runs the paper's experiments by ID.
+// Command vcabench runs the paper's experiments by ID, or a
+// declarative campaign grid from a JSON spec.
 //
 // Usage:
 //
 //	vcabench -list
 //	vcabench -run fig4 [-scale quick|paper|tiny] [-seed 42] [-parallel N]
 //	vcabench -run all
+//	vcabench -campaign spec.json [-json results.json]
 //
 // -parallel bounds the campaign worker pool (0 = one worker per CPU,
-// 1 = serial). Output is byte-identical at any worker count.
+// 1 = serial; negative counts are rejected). Output is byte-identical
+// at any worker count.
+//
+// -campaign runs the grid declared in the given JSON spec (see the
+// README for the format) and renders a per-cell table; -json
+// additionally writes the structured results to a file. With
+// "-json -" stdout carries only the JSON document (no table), so it
+// pipes cleanly into jq and friends.
 package main
 
 import (
@@ -23,11 +32,19 @@ func main() {
 	var (
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		run      = flag.String("run", "", "comma-separated experiment IDs, or \"all\"")
+		campaign = flag.String("campaign", "", "path to a JSON campaign spec to run instead of -run")
+		jsonOut  = flag.String("json", "", "with -campaign: write JSON results to this file (\"-\" = stdout)")
 		scale    = flag.String("scale", "quick", "experiment scale: tiny, quick or paper")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		parallel = flag.Int("parallel", 0, "campaign worker count (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "vcabench: -parallel %d: worker count must be >= 1 (or 0 for the default)\n", *parallel)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range vcabench.List() {
@@ -35,7 +52,13 @@ func main() {
 		}
 		return
 	}
-	if *run == "" {
+	if (*run == "") == (*campaign == "") {
+		fmt.Fprintln(os.Stderr, "vcabench: exactly one of -run or -campaign is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *jsonOut != "" && *campaign == "" {
+		fmt.Fprintln(os.Stderr, "vcabench: -json requires -campaign")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -51,6 +74,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "vcabench: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+
+	if *campaign != "" {
+		if err := runCampaign(*campaign, *jsonOut, *seed, sc, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ids := strings.Split(*run, ",")
@@ -69,4 +100,42 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runCampaign loads a spec file, runs the grid and writes the text
+// table to stdout plus, optionally, JSON results to jsonPath.
+func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, workers int) error {
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return fmt.Errorf("vcabench: %w", err)
+	}
+	spec, err := vcabench.ParseCampaign(data)
+	if err != nil {
+		return fmt.Errorf("vcabench: %s: %w", specPath, err)
+	}
+	tb := vcabench.NewTestbedParallel(seed, workers)
+	res, err := vcabench.RunCampaign(tb, spec, sc)
+	if err != nil {
+		return fmt.Errorf("vcabench: %w", err)
+	}
+	// With -json -, stdout is the machine-readable document; keep it
+	// parseable by skipping the human table.
+	if jsonPath == "-" {
+		return vcabench.WriteJSON(os.Stdout, res)
+	}
+	res.RenderTable().Render(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return fmt.Errorf("vcabench: %w", err)
+	}
+	werr := vcabench.WriteJSON(f, res)
+	// Close errors are flush errors: a truncated results file must not
+	// exit 0.
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

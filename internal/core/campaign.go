@@ -1,0 +1,691 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/geo"
+	"github.com/vcabench/vcabench/internal/media"
+	"github.com/vcabench/vcabench/internal/platform"
+	"github.com/vcabench/vcabench/internal/report"
+	"github.com/vcabench/vcabench/internal/simnet"
+	"github.com/vcabench/vcabench/internal/stats"
+)
+
+// This file is the campaign-matrix engine: the paper's evaluation is a
+// systematic sweep over platforms × geometries × motion classes ×
+// session sizes × network conditions, and this engine makes those
+// sweeps *data* instead of code. A Campaign declares one value list per
+// axis; the engine expands the cross product into canonical-keyed
+// units, shards them through the scheduler (scheduler.go), and
+// aggregates typed, JSON-encodable results. The Figs 12-18 sweeps, the
+// §6 extensions and Table 1's measured columns all run on it, as do
+// arbitrary grids the paper never measured (see examples/campaign).
+
+// Campaign declares a QoE sweep as a grid of axis values. Every axis
+// left empty is normalized to a single-value default, so the smallest
+// valid spec is just a name. The cross product of all axes is the
+// campaign's cell set.
+//
+// Cell unit keys are canonical: "<name>/" followed by one segment per
+// axis that has more than one value, in the fixed order platform,
+// geometry, motion, size, cap, audio, netem. Single-valued axes are
+// omitted so that, e.g., the Fig 17 campaign's cells keep their
+// historical "fig17/<platform>/<motion>/<cap>" keys. Because shard
+// seeds derive from unit keys, adding a second value to an axis changes
+// every cell's key and therefore its sampled values — append new
+// campaigns rather than widening old ones when stability matters.
+type Campaign struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Platforms lists platform kinds ("zoom", "webex", "meet").
+	// Default: all three.
+	Platforms []string `json:"platforms,omitempty"`
+	// Geometries lists host/receiver placements. Default: a US-East
+	// host with receivers drawn from the paper's US pool.
+	Geometries []Geometry `json:"geometries,omitempty"`
+	// Motions lists feed classes ("low-motion", "high-motion").
+	// Default: high-motion.
+	Motions []string `json:"motions,omitempty"`
+	// Sizes lists session sizes, host included (N >= 2). Default: 2.
+	Sizes []int `json:"sizes,omitempty"`
+	// CapsBps lists downlink caps in bits/s; 0 means uncapped.
+	// Default: 0.
+	CapsBps []int64 `json:"caps_bps,omitempty"`
+	// Audio toggles speech + MOS-LQO scoring. Default: false.
+	Audio []bool `json:"audio,omitempty"`
+	// Netem lists receiver last-mile impairments. Default: none.
+	Netem []Netem `json:"netem,omitempty"`
+}
+
+// Geometry places one campaign cell's session: a host region plus a
+// receiver pool. Exactly one of Zone or Receivers must be set; the
+// pool is cycled to fill N-1 receiver slots, so one geometry serves
+// every session size on the Sizes axis.
+type Geometry struct {
+	// Name labels the geometry in unit keys and results. Defaults to
+	// Host when the axis has a single entry.
+	Name string `json:"name,omitempty"`
+	// Host is the sender's region name (geo.Lookup).
+	Host string `json:"host"`
+	// Zone draws receivers from the paper's §4.3 pool for "US" or "EU".
+	Zone string `json:"zone,omitempty"`
+	// Receivers is an explicit region-name pool, cycled in order.
+	// Mixing zones here builds geometries the paper never measured.
+	Receivers []string `json:"receivers,omitempty"`
+}
+
+// Netem is one receiver-side last-mile condition: random downlink
+// loss, a steady downlink cap overriding the CapsBps axis, or a cap
+// fluctuating between two rates (the §6 last-mile extension). Loss
+// composes with either cap mode; the two cap modes are exclusive.
+type Netem struct {
+	// Name labels the condition in unit keys and results.
+	Name string `json:"name,omitempty"`
+	// LossPct is a random downlink drop percentage in [0, 100).
+	LossPct float64 `json:"loss_pct,omitempty"`
+	// DownCapBps, when > 0, replaces the cell's CapsBps value.
+	DownCapBps int64 `json:"down_cap_bps,omitempty"`
+	// FluctHiBps/FluctLoBps/FluctPeriodSec alternate the downlink cap
+	// between two rates every period (all three required together).
+	FluctHiBps     int64   `json:"fluct_hi_bps,omitempty"`
+	FluctLoBps     int64   `json:"fluct_lo_bps,omitempty"`
+	FluctPeriodSec float64 `json:"fluct_period_sec,omitempty"`
+}
+
+// fluctuating reports whether the condition toggles the downlink cap.
+func (ne Netem) fluctuating() bool { return ne.FluctHiBps > 0 }
+
+// ParseCampaign decodes and validates a JSON campaign spec.
+func ParseCampaign(data []byte) (Campaign, error) {
+	var c Campaign
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Campaign{}, fmt.Errorf("campaign: parse: %w", err)
+	}
+	// A spec file is exactly one JSON object; trailing data means a
+	// corrupted or concatenated file, not a campaign to silently drop.
+	if dec.More() {
+		return Campaign{}, fmt.Errorf("campaign: parse: trailing data after the spec object")
+	}
+	if _, err := c.resolve(); err != nil {
+		return Campaign{}, err
+	}
+	return c, nil
+}
+
+// Validate checks the spec without running it.
+func (c Campaign) Validate() error {
+	_, err := c.resolve()
+	return err
+}
+
+// UnitKeys returns the canonical key of every cell in expansion order.
+func (c Campaign) UnitKeys() ([]string, error) {
+	rc, err := c.resolve()
+	if err != nil {
+		return nil, err
+	}
+	cells := rc.cells()
+	keys := make([]string, len(cells))
+	for i, cl := range cells {
+		keys[i] = cl.key
+	}
+	return keys, nil
+}
+
+// resolvedGeometry is a Geometry with regions looked up.
+type resolvedGeometry struct {
+	name     string
+	host     geo.Region
+	zone     geo.Zone     // valid when explicit is nil
+	explicit []geo.Region // non-nil: cycled receiver pool
+}
+
+// receivers returns n receiver placements from the geometry's pool.
+func (g resolvedGeometry) receivers(n int) []geo.Region {
+	if g.explicit == nil {
+		return QoEReceiverRegions(g.zone, n)
+	}
+	out := make([]geo.Region, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.explicit[i%len(g.explicit)])
+	}
+	return out
+}
+
+// resolvedCampaign is a Campaign with defaults applied and every name
+// resolved; its axis value lists are all non-empty.
+type resolvedCampaign struct {
+	name      string
+	platforms []platform.Kind
+	geoms     []resolvedGeometry
+	motions   []media.MotionClass
+	sizes     []int
+	caps      []int64
+	audio     []bool
+	netem     []Netem
+}
+
+// campaignCell is one fully-specified grid point.
+type campaignCell struct {
+	kind   platform.Kind
+	geom   resolvedGeometry
+	motion media.MotionClass
+	n      int
+	capBps int64
+	audio  bool
+	netem  Netem
+	key    string
+}
+
+func parseMotion(s string) (media.MotionClass, error) {
+	switch s {
+	case media.LowMotion.String():
+		return media.LowMotion, nil
+	case media.HighMotion.String():
+		return media.HighMotion, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown motion class %q (want %q or %q)",
+		s, media.LowMotion, media.HighMotion)
+}
+
+func parseKind(s string) (platform.Kind, error) {
+	for _, k := range platform.Kinds {
+		if s == string(k) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("campaign: unknown platform %q", s)
+}
+
+// resolve normalizes the spec: defaults fill empty axes, names resolve
+// to regions, and every axis is checked for valid, duplicate-free
+// values (duplicates would collide in the memo table).
+func (c Campaign) resolve() (*resolvedCampaign, error) {
+	if c.Name == "" {
+		return nil, fmt.Errorf("campaign: name is required")
+	}
+	// "/" separates key segments; a name containing it could make two
+	// distinct cells (or campaigns) share one canonical key, breaking
+	// the key-injectivity the shard seeds and memo table rely on.
+	if strings.Contains(c.Name, "/") {
+		return nil, fmt.Errorf("campaign: name %q must not contain %q", c.Name, "/")
+	}
+	rc := &resolvedCampaign{name: c.Name}
+
+	if len(c.Platforms) == 0 {
+		rc.platforms = append(rc.platforms, platform.Kinds...)
+	}
+	for _, s := range c.Platforms {
+		k, err := parseKind(s)
+		if err != nil {
+			return nil, err
+		}
+		rc.platforms = append(rc.platforms, k)
+	}
+
+	geoms := c.Geometries
+	if len(geoms) == 0 {
+		geoms = []Geometry{{Name: "us-east", Host: geo.USEast.Name, Zone: string(geo.ZoneUS)}}
+	}
+	for _, g := range geoms {
+		res, err := resolveGeometry(g, len(geoms) > 1)
+		if err != nil {
+			return nil, err
+		}
+		rc.geoms = append(rc.geoms, res)
+	}
+
+	if len(c.Motions) == 0 {
+		rc.motions = []media.MotionClass{media.HighMotion}
+	}
+	for _, s := range c.Motions {
+		m, err := parseMotion(s)
+		if err != nil {
+			return nil, err
+		}
+		rc.motions = append(rc.motions, m)
+	}
+
+	rc.sizes = c.Sizes
+	if len(rc.sizes) == 0 {
+		rc.sizes = []int{2}
+	}
+	for _, n := range rc.sizes {
+		if n < 2 {
+			return nil, fmt.Errorf("campaign: size %d < 2 (sessions need a host and a receiver)", n)
+		}
+	}
+
+	rc.caps = c.CapsBps
+	if len(rc.caps) == 0 {
+		rc.caps = []int64{0}
+	}
+	for _, cap := range rc.caps {
+		if cap < 0 {
+			return nil, fmt.Errorf("campaign: negative cap %d bps", cap)
+		}
+	}
+
+	rc.audio = c.Audio
+	if len(rc.audio) == 0 {
+		rc.audio = []bool{false}
+	}
+
+	rc.netem = c.Netem
+	if len(rc.netem) == 0 {
+		rc.netem = []Netem{{}}
+	}
+	for i, ne := range rc.netem {
+		if ne.Name == "" && len(rc.netem) > 1 {
+			return nil, fmt.Errorf("campaign: netem entry %d needs a name (the axis has %d entries)", i, len(rc.netem))
+		}
+		if strings.Contains(ne.Name, "/") {
+			return nil, fmt.Errorf("campaign: netem name %q must not contain %q", ne.Name, "/")
+		}
+		if ne.LossPct < 0 || ne.LossPct >= 100 {
+			return nil, fmt.Errorf("campaign: netem %q loss_pct %.3g outside [0, 100)", ne.Name, ne.LossPct)
+		}
+		if ne.DownCapBps < 0 {
+			return nil, fmt.Errorf("campaign: netem %q negative down_cap_bps", ne.Name)
+		}
+		fluctFields := 0
+		if ne.FluctHiBps > 0 {
+			fluctFields++
+		}
+		if ne.FluctLoBps > 0 {
+			fluctFields++
+		}
+		if ne.FluctPeriodSec > 0 {
+			fluctFields++
+		}
+		if fluctFields != 0 && fluctFields != 3 {
+			return nil, fmt.Errorf("campaign: netem %q needs fluct_hi_bps, fluct_lo_bps and fluct_period_sec together", ne.Name)
+		}
+		if ne.fluctuating() && ne.DownCapBps > 0 {
+			return nil, fmt.Errorf("campaign: netem %q sets both a steady and a fluctuating cap", ne.Name)
+		}
+		if ne.fluctuating() && ne.FluctLoBps > ne.FluctHiBps {
+			return nil, fmt.Errorf("campaign: netem %q fluct_lo_bps > fluct_hi_bps", ne.Name)
+		}
+		// An active condition must be visible in results: CellResult
+		// only records the condition's name, so an unnamed impairment
+		// would make impaired cells look like clean runs.
+		if ne.Name == "" && ne != (Netem{}) {
+			return nil, fmt.Errorf("campaign: netem entry %d sets impairments and needs a name", i)
+		}
+	}
+
+	// Duplicate axis values collide in the memo table: reject them.
+	if err := uniqueSegments(rc); err != nil {
+		return nil, err
+	}
+	return rc, nil
+}
+
+func resolveGeometry(g Geometry, named bool) (resolvedGeometry, error) {
+	var res resolvedGeometry
+	if g.Host == "" {
+		return res, fmt.Errorf("campaign: geometry %q has no host", g.Name)
+	}
+	host, err := geo.Lookup(g.Host)
+	if err != nil {
+		return res, fmt.Errorf("campaign: geometry %q: %w", g.Name, err)
+	}
+	res.host = host
+	res.name = g.Name
+	if res.name == "" {
+		if named {
+			return res, fmt.Errorf("campaign: every geometry needs a name when the axis has several")
+		}
+		res.name = g.Host
+	}
+	if strings.Contains(res.name, "/") {
+		return res, fmt.Errorf("campaign: geometry name %q must not contain %q", res.name, "/")
+	}
+	switch {
+	case g.Zone != "" && len(g.Receivers) > 0:
+		return res, fmt.Errorf("campaign: geometry %q sets both zone and receivers", res.name)
+	case g.Zone != "":
+		if z := geo.Zone(g.Zone); z != geo.ZoneUS && z != geo.ZoneEU {
+			return res, fmt.Errorf("campaign: geometry %q: unknown zone %q (want %q or %q)",
+				res.name, g.Zone, geo.ZoneUS, geo.ZoneEU)
+		}
+		res.zone = geo.Zone(g.Zone)
+	case len(g.Receivers) > 0:
+		for _, name := range g.Receivers {
+			r, err := geo.Lookup(name)
+			if err != nil {
+				return res, fmt.Errorf("campaign: geometry %q: %w", res.name, err)
+			}
+			res.explicit = append(res.explicit, r)
+		}
+	default:
+		return res, fmt.Errorf("campaign: geometry %q needs a zone or a receiver list", res.name)
+	}
+	return res, nil
+}
+
+// uniqueSegments rejects axis values whose key segments repeat.
+func uniqueSegments(rc *resolvedCampaign) error {
+	check := func(axis string, segs []string) error {
+		seen := make(map[string]bool, len(segs))
+		for _, s := range segs {
+			if seen[s] {
+				return fmt.Errorf("campaign: duplicate %s %q", axis, s)
+			}
+			seen[s] = true
+		}
+		return nil
+	}
+	segs := func(n int, f func(i int) string) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = f(i)
+		}
+		return out
+	}
+	if err := check("platform", segs(len(rc.platforms), func(i int) string { return string(rc.platforms[i]) })); err != nil {
+		return err
+	}
+	if err := check("geometry name", segs(len(rc.geoms), func(i int) string { return rc.geoms[i].name })); err != nil {
+		return err
+	}
+	if err := check("motion", segs(len(rc.motions), func(i int) string { return rc.motions[i].String() })); err != nil {
+		return err
+	}
+	if err := check("size", segs(len(rc.sizes), func(i int) string { return strconv.Itoa(rc.sizes[i]) })); err != nil {
+		return err
+	}
+	if err := check("cap", segs(len(rc.caps), func(i int) string { return strconv.FormatInt(rc.caps[i], 10) })); err != nil {
+		return err
+	}
+	if err := check("audio value", segs(len(rc.audio), func(i int) string { return audioSegment(rc.audio[i]) })); err != nil {
+		return err
+	}
+	return check("netem name", segs(len(rc.netem), func(i int) string { return rc.netem[i].Name }))
+}
+
+func audioSegment(on bool) string {
+	if on {
+		return "audio"
+	}
+	return "noaudio"
+}
+
+// cells expands the grid in canonical axis order. Expansion order only
+// affects scheduling and result ordering — never values, which depend
+// solely on each cell's key-derived seed.
+func (rc *resolvedCampaign) cells() []campaignCell {
+	var out []campaignCell
+	for _, kind := range rc.platforms {
+		for _, g := range rc.geoms {
+			for _, m := range rc.motions {
+				for _, n := range rc.sizes {
+					for _, cap := range rc.caps {
+						for _, audio := range rc.audio {
+							for _, ne := range rc.netem {
+								cell := campaignCell{
+									kind: kind, geom: g, motion: m, n: n,
+									capBps: cap, audio: audio, netem: ne,
+								}
+								cell.key = rc.key(cell)
+								out = append(out, cell)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// key builds a cell's canonical unit key: the campaign name plus one
+// segment per multi-valued axis, in fixed axis order.
+func (rc *resolvedCampaign) key(c campaignCell) string {
+	segs := []string{rc.name}
+	if len(rc.platforms) > 1 {
+		segs = append(segs, string(c.kind))
+	}
+	if len(rc.geoms) > 1 {
+		segs = append(segs, c.geom.name)
+	}
+	if len(rc.motions) > 1 {
+		segs = append(segs, c.motion.String())
+	}
+	if len(rc.sizes) > 1 {
+		segs = append(segs, strconv.Itoa(c.n))
+	}
+	if len(rc.caps) > 1 {
+		segs = append(segs, strconv.FormatInt(c.capBps, 10))
+	}
+	if len(rc.audio) > 1 {
+		segs = append(segs, audioSegment(c.audio))
+	}
+	if len(rc.netem) > 1 {
+		segs = append(segs, c.netem.Name)
+	}
+	return strings.Join(segs, "/")
+}
+
+// runCell executes one grid point on its forked testbed, translating
+// the cell's axes into the QoE study's options and last-mile setup.
+func runCell(stb *Testbed, c campaignCell, sc Scale) *QoEStudyResult {
+	opts := QoEOpts{DownlinkCapBps: c.capBps, WithAudio: c.audio}
+	ne := c.netem
+	if ne.DownCapBps > 0 {
+		opts.DownlinkCapBps = ne.DownCapBps
+	}
+	if ne.fluctuating() {
+		opts.DownlinkCapBps = ne.FluctHiBps
+	}
+	var setup func([]*simnet.Node)
+	if ne.LossPct > 0 || ne.fluctuating() {
+		period := time.Duration(ne.FluctPeriodSec * float64(time.Second))
+		setup = func(recvNodes []*simnet.Node) {
+			for _, n := range recvNodes {
+				n := n
+				if ne.LossPct > 0 {
+					n.SetDownlinkLoss(ne.LossPct / 100)
+				}
+				if ne.fluctuating() {
+					high := true
+					stb.Sim.Every(period, func() {
+						high = !high
+						cap := ne.FluctHiBps
+						if !high {
+							cap = ne.FluctLoBps
+						}
+						n.SetDownlinkShaper(simnet.NewTokenBucket(cap, 24*1024))
+					})
+				}
+			}
+		}
+	}
+	return RunQoEStudyWithSetup(stb, c.kind, c.geom.host, c.geom.receivers(c.n-1),
+		c.motion, sc, opts, setup)
+}
+
+// Metric summarizes one sample of a cell result. A nil Metric (absent
+// in JSON) means the cell collected no observations for that signal —
+// e.g. MOS with audio off — never a zero-filled summary.
+type Metric struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	P25  float64 `json:"p25"`
+	P50  float64 `json:"p50"`
+	P75  float64 `json:"p75"`
+	Max  float64 `json:"max"`
+}
+
+func metricOf(s *stats.Sample) *Metric {
+	if s == nil || s.Len() == 0 {
+		return nil
+	}
+	return &Metric{
+		N:    s.Len(),
+		Mean: s.Mean(),
+		Min:  s.Min(),
+		P25:  s.Quantile(0.25),
+		P50:  s.Median(),
+		P75:  s.Quantile(0.75),
+		Max:  s.Max(),
+	}
+}
+
+// CellResult is one grid point's outcome: its axis coordinates, the
+// canonical unit key (which names the memo entry and derives the shard
+// seed), and summarized QoE metrics. Raw retains the full study result
+// for library callers; it is not serialized.
+type CellResult struct {
+	Key      string `json:"key"`
+	Platform string `json:"platform"`
+	Geometry string `json:"geometry"`
+	Motion   string `json:"motion"`
+	N        int    `json:"n"`
+	CapBps   int64  `json:"cap_bps"`
+	Audio    bool   `json:"audio"`
+	Netem    string `json:"netem,omitempty"`
+
+	PSNR     *Metric `json:"psnr,omitempty"`
+	SSIM     *Metric `json:"ssim,omitempty"`
+	VIFP     *Metric `json:"vifp,omitempty"`
+	Freeze   *Metric `json:"freeze,omitempty"`
+	UpMbps   *Metric `json:"up_mbps,omitempty"`
+	DownMbps *Metric `json:"down_mbps,omitempty"`
+	MOS      *Metric `json:"mos,omitempty"`
+
+	Raw *QoEStudyResult `json:"-"`
+}
+
+// CampaignResult aggregates a campaign run. Cells appear in expansion
+// order; for a given spec, scale and seed the JSON encoding is
+// byte-identical at any worker count.
+type CampaignResult struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	Scale       string       `json:"scale"`
+	Seed        int64        `json:"seed"`
+	Cells       []CellResult `json:"cells"`
+}
+
+// Cell returns the cell with the given canonical unit key, or nil.
+func (r *CampaignResult) Cell(key string) *CellResult {
+	for i := range r.Cells {
+		if r.Cells[i].Key == key {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// mustCell is Cell for renderers whose keys come from their own spec.
+func (r *CampaignResult) mustCell(key string) *CellResult {
+	c := r.Cell(key)
+	if c == nil {
+		panic("core: campaign " + r.Name + " has no cell " + key)
+	}
+	return c
+}
+
+// RunCampaign expands the spec and executes every cell through the
+// memo-aware scheduler: each cell runs on a testbed forked from its
+// canonical key, so results depend only on (seed, key) and campaigns
+// sharing cell keys (fig12/fig14/fig15) share computed units.
+func RunCampaign(tb *Testbed, spec Campaign, sc Scale) (*CampaignResult, error) {
+	rc, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
+	// Keys omit single-valued axes, so two same-named campaigns whose
+	// specs differ only there would expand to identical keys and
+	// silently read each other's memoized cells. Pin each campaign
+	// name to one resolved spec per testbed.
+	if err := tb.registerCampaign(rc.name, fmt.Sprintf("%+v/%s", rc, sc.Name)); err != nil {
+		return nil, err
+	}
+	cells := rc.cells()
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		keys[i] = c.key
+	}
+	res := tb.runMemoized(keys, func(stb *Testbed, i int) any {
+		return runCell(stb, cells[i], sc)
+	})
+	out := &CampaignResult{
+		Name:        spec.Name,
+		Description: spec.Description,
+		Scale:       sc.Name,
+		Seed:        tb.Seed(),
+		Cells:       make([]CellResult, len(cells)),
+	}
+	for i, c := range cells {
+		q := res[i].(*QoEStudyResult)
+		out.Cells[i] = CellResult{
+			Key:      c.key,
+			Platform: string(c.kind),
+			Geometry: c.geom.name,
+			Motion:   c.motion.String(),
+			N:        c.n,
+			CapBps:   c.capBps,
+			Audio:    c.audio,
+			Netem:    c.netem.Name,
+			PSNR:     metricOf(q.PSNR),
+			SSIM:     metricOf(q.SSIM),
+			VIFP:     metricOf(q.VIFP),
+			Freeze:   metricOf(q.Freeze),
+			UpMbps:   metricOf(q.UpMbps),
+			DownMbps: metricOf(q.DownMbps),
+			MOS:      metricOf(q.MOS),
+			Raw:      q,
+		}
+	}
+	return out, nil
+}
+
+// mustRunCampaign backs the built-in figure renderers, whose specs are
+// compile-time constants and cannot fail to resolve.
+func mustRunCampaign(tb *Testbed, spec Campaign, sc Scale) *CampaignResult {
+	r, err := RunCampaign(tb, spec, sc)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return r
+}
+
+// RenderTable flattens the campaign into one row per cell with mean
+// metric values — the generic text view for grids that have no bespoke
+// figure renderer. Cells without a signal render "-".
+func (r *CampaignResult) RenderTable() *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("campaign %s (scale=%s, seed=%d)", r.Name, r.Scale, r.Seed),
+		Header: []string{"platform", "geometry", "motion", "N", "cap", "audio", "netem",
+			"PSNR", "SSIM", "VIFp", "freeze", "up Mbps", "down Mbps", "MOS"},
+	}
+	mean := func(m *Metric) any {
+		if m == nil {
+			return "-"
+		}
+		return m.Mean
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		netem := c.Netem
+		if netem == "" {
+			netem = "-"
+		}
+		t.AddRow(c.Platform, c.Geometry, c.Motion, c.N, CapLabel(c.CapBps),
+			audioSegment(c.Audio), netem,
+			mean(c.PSNR), mean(c.SSIM), mean(c.VIFP), mean(c.Freeze),
+			mean(c.UpMbps), mean(c.DownMbps), mean(c.MOS))
+	}
+	return t
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/vcabench/vcabench/internal/report"
+)
+
+// detCampaign is a small grid exercising caps, audio and netem axes —
+// cheap enough for the 1-vs-8-worker determinism test.
+func detCampaign() Campaign {
+	return Campaign{
+		Name:      "det",
+		Platforms: []string{"zoom", "meet"},
+		Geometries: []Geometry{
+			{Name: "mix", Host: "US-East", Receivers: []string{"US-West", "FR"}},
+		},
+		Motions: []string{"high-motion"},
+		Sizes:   []int{3},
+		CapsBps: []int64{0, 500_000},
+		Audio:   []bool{true, false},
+		Netem:   []Netem{{Name: "clean"}, {Name: "lossy", LossPct: 20}},
+	}
+}
+
+// The tentpole invariant: a campaign's JSON result is byte-identical
+// at any worker count, because every cell's values depend only on
+// (seed, canonical key).
+func TestCampaignJSONDeterminism(t *testing.T) {
+	render := func(workers int) []byte {
+		tb := NewTestbed(42).SetParallelism(workers)
+		res, err := RunCampaign(tb, detCampaign(), TinyScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("campaign JSON differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if len(serial) < 200 {
+		t.Errorf("campaign JSON suspiciously short:\n%s", serial)
+	}
+}
+
+func TestCampaignResultShape(t *testing.T) {
+	tb := NewTestbed(7)
+	res, err := RunCampaign(tb, detCampaign(), TinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Cells), 2*1*1*1*2*2*2; got != want {
+		t.Fatalf("cell count = %d, want %d", got, want)
+	}
+	if res.Seed != 7 || res.Scale != TinyScale.Name || res.Name != "det" {
+		t.Errorf("result header wrong: %+v", res)
+	}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		if c.PSNR == nil || c.SSIM == nil || c.DownMbps == nil {
+			t.Errorf("cell %s missing video metrics", c.Key)
+		}
+		if c.Audio && c.MOS == nil {
+			t.Errorf("cell %s has audio but no MOS", c.Key)
+		}
+		if !c.Audio && c.MOS != nil {
+			t.Errorf("cell %s has MOS without audio", c.Key)
+		}
+		if c.Raw == nil {
+			t.Errorf("cell %s lost its raw study result", c.Key)
+		}
+		if res.Cell(c.Key) != c {
+			t.Errorf("Cell(%q) lookup failed", c.Key)
+		}
+	}
+	// Loss must actually bite: lossy cells see worse SSIM than clean
+	// ones for the same coordinates.
+	clean := res.Cell("det/zoom/0/noaudio/clean")
+	lossy := res.Cell("det/zoom/0/noaudio/lossy")
+	if clean == nil || lossy == nil {
+		t.Fatal("expected cells missing")
+	}
+	if lossy.SSIM.Mean >= clean.SSIM.Mean {
+		t.Errorf("20%% loss did not hurt SSIM: clean %.3f, lossy %.3f", clean.SSIM.Mean, lossy.SSIM.Mean)
+	}
+}
+
+// Ported figures must keep their historical unit keys: shard seeds
+// derive from keys, so key drift would silently change every number.
+func TestCampaignLegacyKeys(t *testing.T) {
+	cases := []struct {
+		spec Campaign
+		want []string
+	}{
+		{usSweepCampaign(), []string{
+			"fig12/zoom/low-motion/2", "fig12/webex/high-motion/6", "fig12/meet/low-motion/4"}},
+		{pairCampaign("table1"), []string{"table1/zoom", "table1/webex", "table1/meet"}},
+		{lastMileCampaign(), []string{
+			"ext-lastmile/zoom/fluct", "ext-lastmile/webex/steady-300k", "ext-lastmile/meet/steady-1.5M"}},
+	}
+	fig17 := pairCampaign("fig17")
+	fig17.Motions = []string{"low-motion", "high-motion"}
+	fig17.CapsBps = capsList()
+	cases = append(cases, struct {
+		spec Campaign
+		want []string
+	}{fig17, []string{"fig17/zoom/low-motion/250000", "fig17/meet/high-motion/0"}})
+
+	fig18 := pairCampaign("fig18")
+	fig18.Motions = []string{"low-motion"}
+	fig18.CapsBps = capsList()
+	fig18.Audio = []bool{true}
+	cases = append(cases, struct {
+		spec Campaign
+		want []string
+	}{fig18, []string{"fig18/zoom/250000", "fig18/webex/1000000"}})
+
+	for _, c := range cases {
+		keys, err := c.spec.UnitKeys()
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec.Name, err)
+		}
+		have := make(map[string]bool, len(keys))
+		for _, k := range keys {
+			if have[k] {
+				t.Errorf("%s: duplicate key %q", c.spec.Name, k)
+			}
+			have[k] = true
+		}
+		for _, want := range c.want {
+			if !have[want] {
+				t.Errorf("%s: legacy key %q missing from %v", c.spec.Name, want, keys)
+			}
+		}
+	}
+}
+
+// A minimal spec normalizes to one cell per platform.
+func TestCampaignDefaults(t *testing.T) {
+	keys, err := Campaign{Name: "min"}.UnitKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("default expansion = %v, want one cell per platform", keys)
+	}
+	if keys[0] != "min/zoom" || keys[1] != "min/webex" || keys[2] != "min/meet" {
+		t.Errorf("default keys = %v", keys)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Campaign
+		want string // substring of the error
+	}{
+		{"no name", Campaign{}, "name is required"},
+		{"slash in name", Campaign{Name: "a/b"}, "must not contain"},
+		{"slash in geometry", Campaign{Name: "x",
+			Geometries: []Geometry{{Name: "a/b", Host: "US-East", Zone: "US"}}}, "must not contain"},
+		{"slash in netem", Campaign{Name: "x", Netem: []Netem{{Name: "a/b"}}}, "must not contain"},
+		{"bad platform", Campaign{Name: "x", Platforms: []string{"teams"}}, "unknown platform"},
+		{"dup platform", Campaign{Name: "x", Platforms: []string{"zoom", "zoom"}}, "duplicate platform"},
+		{"bad motion", Campaign{Name: "x", Motions: []string{"fast"}}, "unknown motion"},
+		{"small size", Campaign{Name: "x", Sizes: []int{1}}, "size 1 < 2"},
+		{"dup size", Campaign{Name: "x", Sizes: []int{3, 3}}, "duplicate size"},
+		{"negative cap", Campaign{Name: "x", CapsBps: []int64{-1}}, "negative cap"},
+		{"bad region", Campaign{Name: "x", Geometries: []Geometry{{Host: "Mars", Zone: "US"}}}, "unknown region"},
+		{"bad zone", Campaign{Name: "x", Geometries: []Geometry{{Host: "US-East", Zone: "Asia"}}}, "unknown zone"},
+		{"no pool", Campaign{Name: "x", Geometries: []Geometry{{Host: "US-East"}}}, "needs a zone or a receiver list"},
+		{"zone and receivers", Campaign{Name: "x",
+			Geometries: []Geometry{{Host: "US-East", Zone: "US", Receivers: []string{"FR"}}}}, "both zone and receivers"},
+		{"unnamed geometries", Campaign{Name: "x", Geometries: []Geometry{
+			{Host: "US-East", Zone: "US"}, {Host: "CH", Zone: "EU"}}}, "needs a name"},
+		{"unnamed netem", Campaign{Name: "x", Netem: []Netem{{}, {LossPct: 1}}}, "needs a name"},
+		{"unnamed active netem", Campaign{Name: "x", Netem: []Netem{{LossPct: 1}}}, "sets impairments"},
+		{"loss range", Campaign{Name: "x", Netem: []Netem{{LossPct: 100}}}, "loss_pct"},
+		{"partial fluct", Campaign{Name: "x", Netem: []Netem{{FluctHiBps: 1000}}}, "together"},
+		{"two caps", Campaign{Name: "x", Netem: []Netem{
+			{Name: "n", DownCapBps: 1000, FluctHiBps: 2000, FluctLoBps: 1000, FluctPeriodSec: 1}}}, "both a steady and a fluctuating"},
+		{"inverted fluct", Campaign{Name: "x", Netem: []Netem{
+			{Name: "n", FluctHiBps: 1000, FluctLoBps: 2000, FluctPeriodSec: 1}}}, "fluct_lo_bps > fluct_hi_bps"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseCampaign(t *testing.T) {
+	spec, err := ParseCampaign([]byte(`{
+		"name": "p",
+		"platforms": ["zoom"],
+		"geometries": [{"host": "US-East", "receivers": ["FR", "DE"]}],
+		"sizes": [2, 4],
+		"caps_bps": [0, 750000],
+		"netem": [{"name": "a"}, {"name": "b", "loss_pct": 1.5}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := spec.UnitKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2*2*2 {
+		t.Errorf("keys = %v", keys)
+	}
+	if keys[0] != "p/2/0/a" {
+		t.Errorf("first key = %q", keys[0])
+	}
+	if _, err := ParseCampaign([]byte(`{"name": "x", "sizzes": [2]}`)); err == nil {
+		t.Error("unknown field should be rejected")
+	}
+	if _, err := ParseCampaign([]byte(`{"name": "a"}{"name": "b"}`)); err == nil {
+		t.Error("trailing data should be rejected")
+	}
+	if _, err := ParseCampaign([]byte(`{"name": ""}`)); err == nil {
+		t.Error("invalid spec should be rejected at parse time")
+	}
+}
+
+// The receiver pool cycles to fill any session size.
+func TestGeometryReceiverCycling(t *testing.T) {
+	g, err := resolveGeometry(Geometry{Host: "US-East", Receivers: []string{"FR", "DE"}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.receivers(5)
+	want := []string{"FR", "DE", "FR", "DE", "FR"}
+	for i, r := range got {
+		if r.Name != want[i] {
+			t.Errorf("receiver %d = %s, want %s", i, r.Name, want[i])
+		}
+	}
+	if g.name != "US-East" {
+		t.Errorf("default geometry name = %q, want host name", g.name)
+	}
+}
+
+// RenderTable flattens a campaign without NaN leakage: the MOS column
+// of audio-off cells renders "-".
+func TestCampaignRenderTable(t *testing.T) {
+	tb := NewTestbed(3)
+	res, err := RunCampaign(tb, Campaign{Name: "flat", Platforms: []string{"zoom"}}, TinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.RenderTable().String()
+	if !strings.Contains(out, "campaign flat") || !strings.Contains(out, "zoom") {
+		t.Errorf("table chrome missing:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into rendered table:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing MOS should render '-':\n%s", out)
+	}
+}
+
+// Rerunning a campaign name with a different spec on one testbed
+// would share unit keys (and memo entries) between semantically
+// different cells; the engine must refuse.
+func TestCampaignNameSpecPinning(t *testing.T) {
+	tb := NewTestbed(11)
+	a := Campaign{Name: "pin", Platforms: []string{"zoom"}}
+	if _, err := RunCampaign(tb, a, TinyScale); err != nil {
+		t.Fatal(err)
+	}
+	// Same spec again: fine (memo hit).
+	if _, err := RunCampaign(tb, a, TinyScale); err != nil {
+		t.Errorf("identical rerun rejected: %v", err)
+	}
+	// Same name, different single-valued axis: must be rejected.
+	b := Campaign{Name: "pin", Platforms: []string{"zoom"}, Audio: []bool{true}}
+	if _, err := RunCampaign(tb, b, TinyScale); err == nil {
+		t.Error("conflicting spec under the same name not rejected")
+	}
+	// A fresh testbed is unconstrained.
+	if _, err := RunCampaign(NewTestbed(11), b, TinyScale); err != nil {
+		t.Errorf("fresh testbed rejected spec: %v", err)
+	}
+}
+
+func TestSetParallelismRejectsNegative(t *testing.T) {
+	tb := NewTestbed(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetParallelism(-1) should panic")
+		}
+	}()
+	tb.SetParallelism(-1)
+}
+
+// trim/ratePretty/CapLabel formatting edge cases (the rounding and
+// negative-value bugfixes).
+func TestRateFormatting(t *testing.T) {
+	trims := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{2.97, "3"},     // rounds up (was truncated to "2.9")
+		{2.94, "2.9"},   // rounds down
+		{1.25, "1.3"},   // half rounds away from zero
+		{1.5, "1.5"},    // exact tenth kept
+		{2.0, "2"},      // zero fraction dropped
+		{0.96, "1"},     // carry into the integer part
+		{-0.25, "-0.3"}, // negative magnitude rounding
+		{-2.97, "-3"},   // negative carry
+		{-0.04, "0"},    // rounds to zero: no "-0"
+		{12345.6, "12345.6"},
+	}
+	for _, c := range trims {
+		if got := trim(c.in); got != c.want {
+			t.Errorf("trim(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	rates := []struct {
+		in   float64
+		want string
+	}{
+		{250_000, "250Kbps"},
+		{999_999, "1000Kbps"}, // rounds within the K band
+		{1_000_000, "1Mbps"},
+		{1_250_000, "1.3Mbps"},
+		{2_970_000, "3Mbps"},
+		{999, "999bps"},
+		{-500_000, "-500Kbps"},
+	}
+	for _, c := range rates {
+		if got := ratePretty(c.in); got != c.want {
+			t.Errorf("ratePretty(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	labels := []struct {
+		in   int64
+		want string
+	}{
+		{0, "Infinite"},
+		{250_000, "250Kbps"},
+		{500_000, "500Kbps"},
+		{1_000_000, "1Mbps"},
+		{750_000, "750Kbps"},
+		{1_500_000, "1.5Mbps"},
+		{2_970_000, "3Mbps"}, // rounded by the trim fix
+	}
+	for _, c := range labels {
+		if got := CapLabel(c.in); got != c.want {
+			t.Errorf("CapLabel(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// The ported fig17 renderer and the campaign engine agree on keys: a
+// smoke check that mustCell cannot panic for any rendered figure cell.
+func TestPortedFigureKeysResolve(t *testing.T) {
+	for _, spec := range []Campaign{usSweepCampaign(), pairCampaign("table1"), lastMileCampaign()} {
+		if _, err := spec.UnitKeys(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}

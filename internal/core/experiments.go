@@ -118,91 +118,36 @@ func rttFigure(sce LagScenario, figID string) func(tb *Testbed, sc Scale, w io.W
 	}
 }
 
-// fig12Key identifies one US QoE sweep cell.
-type fig12Key struct {
-	kind   platform.Kind
-	motion media.MotionClass
-	n      int
+// usSweepCampaign declares the §4.3.1 US sweep behind figs 12/14/15:
+// 3 platforms × 2 motion classes × 5 sizes = 30 cells whose keys keep
+// the historical "fig12/<platform>/<motion>/<n>" form, so the three
+// figures share every memoized unit.
+func usSweepCampaign() Campaign {
+	return Campaign{
+		Name:       "fig12",
+		Geometries: []Geometry{{Host: geo.USEast.Name, Zone: string(geo.ZoneUS)}},
+		Motions:    []string{media.LowMotion.String(), media.HighMotion.String()},
+		Sizes:      sessionSizes(),
+	}
 }
 
-// unitKey canonically names one US-sweep cell.
-func (k fig12Key) unitKey() string {
-	return fmt.Sprintf("fig12/%s/%s/%d", k.kind, k.motion, k.n)
+// pairCampaign is the one-receiver geometry shared by Table 1 and the
+// cap sweeps: a US-East host streaming to US-East2.
+func pairCampaign(name string) Campaign {
+	return Campaign{
+		Name:       name,
+		Geometries: []Geometry{{Host: geo.USEast.Name, Receivers: []string{geo.USEast2.Name}}},
+		Motions:    []string{media.HighMotion.String()},
+	}
 }
 
-// fig12Cells enumerates the §4.3.1 US campaign in canonical order:
-// 3 platforms × 5 sizes × 2 motion classes = 30 independent units.
-func fig12Cells() []fig12Key {
-	var cells []fig12Key
-	for _, kind := range platform.Kinds {
-		for _, n := range sessionSizes() {
-			for _, motion := range []media.MotionClass{media.LowMotion, media.HighMotion} {
-				cells = append(cells, fig12Key{kind, motion, n})
-			}
-		}
-	}
-	return cells
-}
-
-// fig12Sweep runs (or recalls) the §4.3.1 US campaign, sharding its 30
-// cells across the scheduler. fig12, fig14 and fig15 all read this.
-func fig12Sweep(tb *Testbed, sc Scale) map[fig12Key]*QoEStudyResult {
-	cells := fig12Cells()
-	keys := make([]string, len(cells))
-	for i, c := range cells {
-		keys[i] = c.unitKey()
-	}
-	res := tb.runMemoized(keys, func(stb *Testbed, i int) any {
-		c := cells[i]
-		return RunQoEStudy(stb, c.kind, geo.USEast,
-			QoEReceiverRegions(geo.ZoneUS, c.n-1), c.motion, sc, QoEOpts{})
-	})
-	out := make(map[fig12Key]*QoEStudyResult, len(cells))
-	for i, c := range cells {
-		out[c] = res[i].(*QoEStudyResult)
-	}
-	return out
-}
-
-// qoeCells runs an arbitrary QoE sweep through the scheduler: one unit
-// per key, results in key order. keyFor must be injective and stable —
-// it both names the memo entry and derives the shard seed.
-func qoeCells(tb *Testbed, n int, keyFor func(i int) string,
-	run func(stb *Testbed, i int) *QoEStudyResult) []*QoEStudyResult {
-	keys := make([]string, n)
-	for i := range keys {
-		keys[i] = keyFor(i)
-	}
-	res := tb.runMemoized(keys, func(stb *Testbed, i int) any { return run(stb, i) })
-	out := make([]*QoEStudyResult, n)
-	for i, v := range res {
-		out[i] = v.(*QoEStudyResult)
-	}
-	return out
-}
-
-// qoeGrid runs a (row, platform) QoE sweep — the Figs 16-18 table
-// shape — sharding all len(rows)×len(Kinds) cells together, then
-// handing each row its results in platform order for rendering.
-func qoeGrid[R any](tb *Testbed, rows []R,
-	keyFor func(r R, k platform.Kind) string,
-	run func(stb *Testbed, r R, k platform.Kind) *QoEStudyResult,
-	emit func(r R, res []*QoEStudyResult)) {
-	nk := len(platform.Kinds)
-	res := qoeCells(tb, len(rows)*nk,
-		func(i int) string { return keyFor(rows[i/nk], platform.Kinds[i%nk]) },
-		func(stb *Testbed, i int) *QoEStudyResult {
-			return run(stb, rows[i/nk], platform.Kinds[i%nk])
-		})
-	for ri, r := range rows {
-		emit(r, res[ri*nk:(ri+1)*nk])
-	}
-}
+// capsList copies the Fig 17/18 cap axis for a campaign spec.
+func capsList() []int64 { return append([]int64(nil), BandwidthCaps...) }
 
 // sessionSizes is the paper's Figs 12-16 session-size axis.
 func sessionSizes() []int { return []int{2, 3, 4, 5, 6} }
 
-func qoeTable(w io.Writer, title string, sweep map[fig12Key]*QoEStudyResult, motion media.MotionClass, metric func(*QoEStudyResult) float64) {
+func qoeTable(w io.Writer, title string, res *CampaignResult, motion media.MotionClass, metric func(*CellResult) float64) {
 	t := report.Table{
 		Title:  title,
 		Header: []string{"N"},
@@ -213,11 +158,7 @@ func qoeTable(w io.Writer, title string, sweep map[fig12Key]*QoEStudyResult, mot
 	for _, n := range sessionSizes() {
 		row := []any{n}
 		for _, k := range platform.Kinds {
-			if r, ok := sweep[fig12Key{k, motion, n}]; ok {
-				row = append(row, metric(r))
-			} else {
-				row = append(row, "-")
-			}
+			row = append(row, metric(res.mustCell(fmt.Sprintf("fig12/%s/%s/%d", k, motion, n))))
 		}
 		t.AddRow(row...)
 	}
@@ -243,16 +184,11 @@ func Experiments() []Experiment {
 					Title:  "Table 1: one-on-one calls",
 					Header: []string{"platform", "vendor low", "vendor high", "measured down Mbps", "measured up Mbps"},
 				}
-				cells := qoeCells(tb, len(platform.Kinds),
-					func(i int) string { return "table1/" + string(platform.Kinds[i]) },
-					func(stb *Testbed, i int) *QoEStudyResult {
-						return RunQoEStudy(stb, platform.Kinds[i], geo.USEast, []geo.Region{geo.USEast2},
-							media.HighMotion, sc, QoEOpts{})
-					})
-				for i, kind := range platform.Kinds {
-					r := cells[i]
+				res := mustRunCampaign(tb, pairCampaign("table1"), sc)
+				for _, kind := range platform.Kinds {
+					c := res.mustCell("table1/" + string(kind))
 					t.AddRow(string(kind), vendorMin[kind][0], vendorMin[kind][1],
-						r.DownMbps.Mean(), r.UpMbps.Mean())
+						c.DownMbps.Mean, c.UpMbps.Mean)
 				}
 				t.Render(w)
 			},
@@ -354,11 +290,11 @@ func Experiments() []Experiment {
 			Title: "Video QoE vs session size (US)",
 			Paper: "LM > HM everywhere; Meet N=2 QoE boost; Webex most stable",
 			Run: func(tb *Testbed, sc Scale, w io.Writer) {
-				sweep := fig12Sweep(tb, sc)
+				sweep := mustRunCampaign(tb, usSweepCampaign(), sc)
 				for _, m := range []media.MotionClass{media.LowMotion, media.HighMotion} {
-					qoeTable(w, fmt.Sprintf("fig12 %s: PSNR (dB)", m), sweep, m, func(r *QoEStudyResult) float64 { return r.PSNR.Mean() })
-					qoeTable(w, fmt.Sprintf("fig12 %s: SSIM", m), sweep, m, func(r *QoEStudyResult) float64 { return r.SSIM.Mean() })
-					qoeTable(w, fmt.Sprintf("fig12 %s: VIFp", m), sweep, m, func(r *QoEStudyResult) float64 { return r.VIFP.Mean() })
+					qoeTable(w, fmt.Sprintf("fig12 %s: PSNR (dB)", m), sweep, m, func(c *CellResult) float64 { return c.PSNR.Mean })
+					qoeTable(w, fmt.Sprintf("fig12 %s: SSIM", m), sweep, m, func(c *CellResult) float64 { return c.SSIM.Mean })
+					qoeTable(w, fmt.Sprintf("fig12 %s: VIFp", m), sweep, m, func(c *CellResult) float64 { return c.VIFP.Mean })
 				}
 			},
 		},
@@ -367,15 +303,15 @@ func Experiments() []Experiment {
 			Title: "QoE reduction from low-motion to high-motion (US)",
 			Paper: "drop is significant (one MOS level); Webex's worsens with N",
 			Run: func(tb *Testbed, sc Scale, w io.Writer) {
-				sweep := fig12Sweep(tb, sc)
+				sweep := mustRunCampaign(tb, usSweepCampaign(), sc)
 				// Fixed slice, not a map: render order must be deterministic.
 				for _, m := range []struct {
 					name   string
-					metric func(*QoEStudyResult) float64
+					metric func(*CellResult) float64
 				}{
-					{"PSNR degradation (dB)", func(r *QoEStudyResult) float64 { return r.PSNR.Mean() }},
-					{"SSIM degradation", func(r *QoEStudyResult) float64 { return r.SSIM.Mean() }},
-					{"VIFp degradation", func(r *QoEStudyResult) float64 { return r.VIFP.Mean() }},
+					{"PSNR degradation (dB)", func(c *CellResult) float64 { return c.PSNR.Mean }},
+					{"SSIM degradation", func(c *CellResult) float64 { return c.SSIM.Mean }},
+					{"VIFp degradation", func(c *CellResult) float64 { return c.VIFP.Mean }},
 				} {
 					name, metric := m.name, m.metric
 					t := report.Table{Title: "fig14: " + name, Header: []string{"N"}}
@@ -385,8 +321,8 @@ func Experiments() []Experiment {
 					for _, n := range sessionSizes() {
 						row := []any{n}
 						for _, k := range platform.Kinds {
-							lm := sweep[fig12Key{k, media.LowMotion, n}]
-							hm := sweep[fig12Key{k, media.HighMotion, n}]
+							lm := sweep.mustCell(fmt.Sprintf("fig12/%s/%s/%d", k, media.LowMotion, n))
+							hm := sweep.mustCell(fmt.Sprintf("fig12/%s/%s/%d", k, media.HighMotion, n))
 							row = append(row, metric(lm)-metric(hm))
 						}
 						t.AddRow(row...)
@@ -401,7 +337,7 @@ func Experiments() []Experiment {
 			Title: "Upload/download data rates (US)",
 			Paper: "Webex highest multi-user, halves on LM; Meet most variable, N=2 at 1.6-2.0M; Zoom flattest, P2P ~1M vs relay ~0.7M",
 			Run: func(tb *Testbed, sc Scale, w io.Writer) {
-				sweep := fig12Sweep(tb, sc)
+				sweep := mustRunCampaign(tb, usSweepCampaign(), sc)
 				for _, m := range []media.MotionClass{media.LowMotion, media.HighMotion} {
 					t := report.Table{
 						Title:  fmt.Sprintf("fig15 %s: data rates (Mbps)", m),
@@ -413,8 +349,8 @@ func Experiments() []Experiment {
 					for _, n := range sessionSizes() {
 						row := []any{n}
 						for _, k := range platform.Kinds {
-							r := sweep[fig12Key{k, m, n}]
-							row = append(row, r.UpMbps.Mean(), r.DownMbps.Mean())
+							c := sweep.mustCell(fmt.Sprintf("fig12/%s/%s/%d", k, m, n))
+							row = append(row, c.UpMbps.Mean, c.DownMbps.Mean)
 						}
 						t.AddRow(row...)
 					}
@@ -432,19 +368,20 @@ func Experiments() []Experiment {
 				for _, k := range platform.Kinds {
 					t.Header = append(t.Header, string(k)+"-PSNR", string(k)+"-SSIM", string(k)+"-VIFp")
 				}
-				qoeGrid(tb, sessionSizes(),
-					func(n int, k platform.Kind) string { return fmt.Sprintf("fig16/%s/%d", k, n) },
-					func(stb *Testbed, n int, k platform.Kind) *QoEStudyResult {
-						return RunQoEStudy(stb, k, geo.CH, QoEReceiverRegions(geo.ZoneEU, n-1),
-							media.HighMotion, sc, QoEOpts{})
-					},
-					func(n int, res []*QoEStudyResult) {
-						row := []any{n}
-						for _, r := range res {
-							row = append(row, r.PSNR.Mean(), r.SSIM.Mean(), r.VIFP.Mean())
-						}
-						t.AddRow(row...)
-					})
+				res := mustRunCampaign(tb, Campaign{
+					Name:       "fig16",
+					Geometries: []Geometry{{Host: geo.CH.Name, Zone: string(geo.ZoneEU)}},
+					Motions:    []string{media.HighMotion.String()},
+					Sizes:      sessionSizes(),
+				}, sc)
+				for _, n := range sessionSizes() {
+					row := []any{n}
+					for _, k := range platform.Kinds {
+						c := res.mustCell(fmt.Sprintf("fig16/%s/%d", k, n))
+						row = append(row, c.PSNR.Mean, c.SSIM.Mean, c.VIFP.Mean)
+					}
+					t.AddRow(row...)
+				}
 				t.Render(w)
 			},
 		},
@@ -464,31 +401,20 @@ func Experiments() []Experiment {
 						tables[i].Header = append(tables[i].Header, string(k)+"-PSNR", string(k)+"-SSIM", string(k)+"-VIFp", string(k)+"-freeze")
 					}
 				}
-				type capRow struct {
-					mi  int
-					cap int64
-				}
-				var rows []capRow
-				for mi := range motions {
+				spec := pairCampaign("fig17")
+				spec.Motions = []string{media.LowMotion.String(), media.HighMotion.String()}
+				spec.CapsBps = capsList()
+				res := mustRunCampaign(tb, spec, sc)
+				for mi, m := range motions {
 					for _, cap := range BandwidthCaps {
-						rows = append(rows, capRow{mi, cap})
+						row := []any{CapLabel(cap)}
+						for _, k := range platform.Kinds {
+							c := res.mustCell(fmt.Sprintf("fig17/%s/%s/%d", k, m, cap))
+							row = append(row, c.PSNR.Mean, c.SSIM.Mean, c.VIFP.Mean, c.Freeze.Mean)
+						}
+						tables[mi].AddRow(row...)
 					}
 				}
-				qoeGrid(tb, rows,
-					func(r capRow, k platform.Kind) string {
-						return fmt.Sprintf("fig17/%s/%s/%d", k, motions[r.mi], r.cap)
-					},
-					func(stb *Testbed, r capRow, k platform.Kind) *QoEStudyResult {
-						return RunQoEStudy(stb, k, geo.USEast, []geo.Region{geo.USEast2},
-							motions[r.mi], sc, QoEOpts{DownlinkCapBps: r.cap})
-					},
-					func(r capRow, res []*QoEStudyResult) {
-						row := []any{CapLabel(r.cap)}
-						for _, q := range res {
-							row = append(row, q.PSNR.Mean(), q.SSIM.Mean(), q.VIFP.Mean(), q.Freeze.Mean())
-						}
-						tables[r.mi].AddRow(row...)
-					})
 				for _, t := range tables {
 					t.Render(w)
 					fmt.Fprintln(w)
@@ -507,19 +433,18 @@ func Experiments() []Experiment {
 				for _, k := range platform.Kinds {
 					t.Header = append(t.Header, string(k))
 				}
-				qoeGrid(tb, BandwidthCaps,
-					func(cap int64, k platform.Kind) string { return fmt.Sprintf("fig18/%s/%d", k, cap) },
-					func(stb *Testbed, cap int64, k platform.Kind) *QoEStudyResult {
-						return RunQoEStudy(stb, k, geo.USEast, []geo.Region{geo.USEast2},
-							media.LowMotion, sc, QoEOpts{DownlinkCapBps: cap, WithAudio: true})
-					},
-					func(cap int64, res []*QoEStudyResult) {
-						row := []any{CapLabel(cap)}
-						for _, r := range res {
-							row = append(row, r.MOS.Mean())
-						}
-						t.AddRow(row...)
-					})
+				spec := pairCampaign("fig18")
+				spec.Motions = []string{media.LowMotion.String()}
+				spec.CapsBps = capsList()
+				spec.Audio = []bool{true}
+				res := mustRunCampaign(tb, spec, sc)
+				for _, cap := range BandwidthCaps {
+					row := []any{CapLabel(cap)}
+					for _, k := range platform.Kinds {
+						row = append(row, res.mustCell(fmt.Sprintf("fig18/%s/%d", k, cap)).MOS.Mean)
+					}
+					t.AddRow(row...)
+				}
 				t.Render(w)
 			},
 		},

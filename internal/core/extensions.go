@@ -3,19 +3,20 @@ package core
 import (
 	"fmt"
 	"io"
-	"time"
 
 	"github.com/vcabench/vcabench/internal/geo"
 	"github.com/vcabench/vcabench/internal/media"
 	"github.com/vcabench/vcabench/internal/platform"
 	"github.com/vcabench/vcabench/internal/report"
-	"github.com/vcabench/vcabench/internal/simnet"
 )
 
 // Extensions implement the future work the paper sketches in §6:
 // dynamic last-mile variation ("a more realistic QoE analysis would
 // consider dynamic bandwidth variation and jitter as well") and
 // conference scalability beyond the 11 participants the paper reached.
+// Both are declared as campaign grids (campaign.go): the last-mile
+// study is a netem axis with fluctuating and steady conditions, the
+// scale study a session-size axis.
 func init() {
 	extraExperiments = append(extraExperiments,
 		Experiment{
@@ -36,65 +37,37 @@ func init() {
 // extraExperiments is appended to the registry by Experiments.
 var extraExperiments []Experiment
 
-// runLastMile alternates a receiver's downlink between a comfortable and
-// a congested capacity every few seconds and compares each platform's
-// QoE against its steady-state behaviour at both extremes.
+// lastMileCampaign alternates a receiver's downlink between a
+// comfortable and a congested capacity every few seconds, with the two
+// steady extremes as reference arms — one netem condition per arm.
+func lastMileCampaign() Campaign {
+	spec := pairCampaign("ext-lastmile")
+	spec.Netem = []Netem{
+		{Name: "fluct", FluctHiBps: 1_500_000, FluctLoBps: 300_000, FluctPeriodSec: 4},
+		{Name: "steady-300k", DownCapBps: 300_000},
+		{Name: "steady-1.5M", DownCapBps: 1_500_000},
+	}
+	return spec
+}
+
+// runLastMile compares each platform's QoE under the fluctuating
+// downlink against its steady-state behaviour at both extremes.
 func runLastMile(tb *Testbed, sc Scale, w io.Writer) {
 	t := report.Table{
 		Title:  "ext-lastmile: fluctuating 1.5Mbps <-> 300kbps downlink (HM feed)",
 		Header: []string{"platform", "fluct PSNR", "fluct SSIM", "fluct freeze", "steady-300k SSIM", "steady-1.5M SSIM"},
 	}
-	// One unit per (platform, condition): fluctuating, steady-low,
-	// steady-high — nine shards scheduled together.
-	type arm struct{ fl, lo, hi *QoEStudyResult }
-	arms := make([]arm, len(platform.Kinds))
-	var units []Unit
-	for i, kind := range platform.Kinds {
-		i, kind := i, kind
-		units = append(units,
-			Unit{Key: "ext-lastmile/" + string(kind) + "/fluct", Run: func(stb *Testbed) {
-				arms[i].fl = runFluctuating(stb, kind, sc, 1_500_000, 300_000, 4*time.Second)
-			}},
-			Unit{Key: "ext-lastmile/" + string(kind) + "/steady-300k", Run: func(stb *Testbed) {
-				arms[i].lo = RunQoEStudy(stb, kind, geo.USEast, []geo.Region{geo.USEast2},
-					media.HighMotion, sc, QoEOpts{DownlinkCapBps: 300_000})
-			}},
-			Unit{Key: "ext-lastmile/" + string(kind) + "/steady-1.5M", Run: func(stb *Testbed) {
-				arms[i].hi = RunQoEStudy(stb, kind, geo.USEast, []geo.Region{geo.USEast2},
-					media.HighMotion, sc, QoEOpts{DownlinkCapBps: 1_500_000})
-			}},
-		)
-	}
-	(&Scheduler{TB: tb}).Run(units)
-	for i, kind := range platform.Kinds {
-		a := arms[i]
-		t.AddRow(string(kind), a.fl.PSNR.Mean(), a.fl.SSIM.Mean(), a.fl.Freeze.Mean(),
-			a.lo.SSIM.Mean(), a.hi.SSIM.Mean())
+	res := mustRunCampaign(tb, lastMileCampaign(), sc)
+	for _, kind := range platform.Kinds {
+		fl := res.mustCell(fmt.Sprintf("ext-lastmile/%s/fluct", kind))
+		lo := res.mustCell(fmt.Sprintf("ext-lastmile/%s/steady-300k", kind))
+		hi := res.mustCell(fmt.Sprintf("ext-lastmile/%s/steady-1.5M", kind))
+		t.AddRow(string(kind), fl.PSNR.Mean, fl.SSIM.Mean, fl.Freeze.Mean,
+			lo.SSIM.Mean, hi.SSIM.Mean)
 	}
 	t.Render(w)
 	fmt.Fprintln(w, "\nA platform that adapts quickly should land near its steady-state")
 	fmt.Fprintln(w, "mean; one that oscillates (Webex) lands well below the worse extreme.")
-}
-
-// runFluctuating is RunQoEStudy with the cap toggled mid-session.
-func runFluctuating(tb *Testbed, kind platform.Kind, sc Scale, hiBps, loBps int64, period time.Duration) *QoEStudyResult {
-	res := RunQoEStudyWithSetup(tb, kind, geo.USEast, []geo.Region{geo.USEast2},
-		media.HighMotion, sc, QoEOpts{DownlinkCapBps: hiBps},
-		func(recvNodes []*simnet.Node) {
-			for _, n := range recvNodes {
-				n := n
-				high := true
-				tb.Sim.Every(period, func() {
-					high = !high
-					cap := hiBps
-					if !high {
-						cap = loBps
-					}
-					n.SetDownlinkShaper(simnet.NewTokenBucket(cap, 24*1024))
-				})
-			}
-		})
-	return res
 }
 
 // runScaleStudy pushes sessions to 11 participants (the paper's §6
@@ -107,18 +80,20 @@ func runScaleStudy(tb *Testbed, sc Scale, w io.Writer) {
 	for _, k := range platform.Kinds {
 		t.Header = append(t.Header, string(k)+"-SSIM", string(k)+"-up Mbps", string(k)+"-down Mbps")
 	}
-	qoeGrid(tb, []int{2, 6, 11},
-		func(n int, k platform.Kind) string { return fmt.Sprintf("ext-scale/%s/%d", k, n) },
-		func(stb *Testbed, n int, k platform.Kind) *QoEStudyResult {
-			return RunQoEStudy(stb, k, geo.USEast, QoEReceiverRegions(geo.ZoneUS, n-1),
-				media.HighMotion, sc, QoEOpts{})
-		},
-		func(n int, res []*QoEStudyResult) {
-			row := []any{n}
-			for _, r := range res {
-				row = append(row, r.SSIM.Mean(), r.UpMbps.Mean(), r.DownMbps.Mean())
-			}
-			t.AddRow(row...)
-		})
+	sizes := []int{2, 6, 11}
+	res := mustRunCampaign(tb, Campaign{
+		Name:       "ext-scale",
+		Geometries: []Geometry{{Host: geo.USEast.Name, Zone: string(geo.ZoneUS)}},
+		Motions:    []string{media.HighMotion.String()},
+		Sizes:      sizes,
+	}, sc)
+	for _, n := range sizes {
+		row := []any{n}
+		for _, k := range platform.Kinds {
+			c := res.mustCell(fmt.Sprintf("ext-scale/%s/%d", k, n))
+			row = append(row, c.SSIM.Mean, c.UpMbps.Mean, c.DownMbps.Mean)
+		}
+		t.AddRow(row...)
+	}
 	t.Render(w)
 }

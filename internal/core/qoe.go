@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"time"
 
 	"github.com/vcabench/vcabench/internal/capture"
@@ -151,43 +152,46 @@ func RunQoEStudyWithSetup(tb *Testbed, kind platform.Kind, host geo.Region, recv
 // BandwidthCaps is the Fig-17/18 sweep, 0 meaning "Infinite".
 var BandwidthCaps = []int64{250_000, 500_000, 1_000_000, 0}
 
-// CapLabel names a cap value as the paper's x-axis does.
+// CapLabel names a cap value as the paper's x-axis does: 0 is
+// "Infinite", everything else renders through ratePretty (which
+// produces the paper's "250Kbps"/"1Mbps" spellings for the standard
+// sweep values).
 func CapLabel(cap int64) string {
-	switch cap {
-	case 0:
+	if cap == 0 {
 		return "Infinite"
-	case 250_000:
-		return "250Kbps"
-	case 500_000:
-		return "500Kbps"
-	case 1_000_000:
-		return "1Mbps"
 	}
 	return ratePretty(float64(cap))
 }
 
 func ratePretty(bps float64) string {
+	abs := math.Abs(bps)
 	switch {
-	case bps >= 1e6:
+	case abs >= 1e6:
 		return trim(bps/1e6) + "Mbps"
-	case bps >= 1e3:
+	case abs >= 1e3:
 		return trim(bps/1e3) + "Kbps"
 	}
 	return trim(bps) + "bps"
 }
 
+// trim renders v with at most one decimal place, rounding half away
+// from zero, and drops a zero fraction: 2.97 -> "3", 1.5 -> "1.5",
+// -0.25 -> "-0.3".
 func trim(v float64) string {
+	tenths := int64(math.Round(math.Abs(v) * 10))
 	s := make([]byte, 0, 8)
-	whole := int64(v)
-	s = appendInt(s, whole)
-	frac := int64((v - float64(whole)) * 10)
-	if frac > 0 {
+	if v < 0 && tenths > 0 {
+		s = append(s, '-')
+	}
+	s = appendInt(s, tenths/10)
+	if frac := tenths % 10; frac > 0 {
 		s = append(s, '.')
 		s = appendInt(s, frac)
 	}
 	return string(s)
 }
 
+// appendInt appends the decimal form of a non-negative integer.
 func appendInt(b []byte, v int64) []byte {
 	if v >= 10 {
 		b = appendInt(b, v/10)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"runtime"
 	"sync"
@@ -45,10 +46,15 @@ func (tb *Testbed) Fork(unitKey string) *Testbed {
 	return ntb
 }
 
-// SetParallelism sets the campaign worker count (<=0 restores the
+// SetParallelism sets the campaign worker count (0 restores the
 // default, runtime.GOMAXPROCS(0)) and returns tb for chaining.
+// Negative counts are a programming error and panic; worker count
+// never changes results, only wall-clock time.
 func (tb *Testbed) SetParallelism(n int) *Testbed {
-	if n <= 0 {
+	if n < 0 {
+		panic(fmt.Sprintf("core: SetParallelism(%d): worker count must be >= 1 (or 0 for the default)", n))
+	}
+	if n == 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	tb.parallelism = n

@@ -2,8 +2,11 @@
 // the controlled, reproducible benchmarking harness of §3. It provisions
 // the vantage-point fleet (Table 3), coordinates sessions across the
 // platform models, and implements one experiment runner per table and
-// figure of the evaluation (§4-§5). See DESIGN.md for the experiment
-// index.
+// figure of the evaluation (§4-§5). The QoE sweeps (Figs 12-18, Table 1
+// and the §6 extensions) are declared as Campaign grids and executed by
+// the campaign-matrix engine in campaign.go; Experiments() in
+// experiments.go remains the index of every rendered artifact (see also
+// DESIGN.md).
 package core
 
 import (
@@ -40,6 +43,26 @@ type Testbed struct {
 	// table safe if experiment drivers ever run concurrently.
 	memoMu sync.Mutex
 	memo   map[string]any
+	// campaigns pins each campaign name run on this testbed to one
+	// resolved-spec fingerprint (see RunCampaign). Guarded by memoMu.
+	campaigns map[string]string
+}
+
+// registerCampaign records (or re-checks) the fingerprint of a named
+// campaign, rejecting a rerun under the same name with a different
+// resolved spec — such a rerun would share unit keys, and therefore
+// memo entries and shard seeds, with semantically different cells.
+func (tb *Testbed) registerCampaign(name, fingerprint string) error {
+	tb.memoMu.Lock()
+	defer tb.memoMu.Unlock()
+	if tb.campaigns == nil {
+		tb.campaigns = make(map[string]string)
+	}
+	if prev, ok := tb.campaigns[name]; ok && prev != fingerprint {
+		return fmt.Errorf("core: campaign %q already ran on this testbed with a different spec or scale; reuse the spec or pick a new name", name)
+	}
+	tb.campaigns[name] = fingerprint
+	return nil
 }
 
 // NewTestbed creates a testbed seeded for reproducibility. The core
@@ -58,6 +81,10 @@ func NewTestbed(seed int64) *Testbed {
 		parallelism: runtime.GOMAXPROCS(0),
 	}
 }
+
+// Seed returns the base seed the testbed (and every fork's shard seed)
+// derives from.
+func (tb *Testbed) Seed() int64 { return tb.seed }
 
 // OverridePlatform replaces a platform's configuration before first use
 // (paid-tier and ablation experiments).

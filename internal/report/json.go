@@ -1,0 +1,40 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON renders any result value as indented JSON followed by a
+// newline — the machine-readable counterpart to the text renderers.
+// Encoding is deterministic for a given value (struct field order, no
+// map iteration at the top level of our result types), which is what
+// lets campaign runs assert byte-identical output across worker
+// counts. Values must be NaN-free: absent signals are represented as
+// nil/omitted fields, never NaN (encoding/json rejects NaN).
+func WriteJSON(w io.Writer, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// tableJSON is the serialized form of a Table.
+type tableJSON struct {
+	Title  string     `json:"title,omitempty"`
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows"`
+}
+
+// JSON writes the table as a JSON object with title, header and rows —
+// cells stay the strings the text renderer would print.
+func (t *Table) JSON(w io.Writer) error {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return WriteJSON(w, tableJSON{Title: t.Title, Header: t.Header, Rows: rows})
+}

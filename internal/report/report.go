@@ -34,6 +34,12 @@ func (t *Table) AddRow(cells ...any) {
 }
 
 func trimFloat(v float64) string {
+	// An absent signal (empty stats.Sample) surfaces as NaN; render it
+	// as the same placeholder tables use for missing cells rather than
+	// leaking "NaN" into output.
+	if math.IsNaN(v) {
+		return "-"
+	}
 	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
 		return fmt.Sprintf("%.0f", v)
 	}

@@ -1,8 +1,13 @@
 package report
 
 import (
+	"encoding/json"
+	"io"
+	"math"
 	"strings"
 	"testing"
+
+	"github.com/vcabench/vcabench/internal/stats"
 )
 
 func TestTableRender(t *testing.T) {
@@ -99,15 +104,87 @@ func TestCDFPlotDegenerate(t *testing.T) {
 
 func TestTrimFloat(t *testing.T) {
 	cases := map[float64]string{
-		3:       "3",
-		3.14159: "3.14",
-		123.456: "123.5",
-		1000:    "1000",
+		3:          "3",
+		3.14159:    "3.14",
+		123.456:    "123.5",
+		1000:       "1000",
+		math.NaN(): "-", // absent signal, not the string "NaN"
 	}
 	for in, want := range cases {
 		if got := trimFloat(in); got != want {
 			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// An empty sample's statistics (NaN) must never leak into a rendered
+// table — the audit behind the stats empty-sample guard.
+func TestTableNaNCells(t *testing.T) {
+	var empty stats.Sample
+	tb := Table{Header: []string{"name", "mos"}}
+	tb.AddRow("no-audio", empty.Mean())
+	out := tb.String()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "no-audio  -") {
+		t.Errorf("empty metric should render '-':\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf strings.Builder
+	err := WriteJSON(&buf, struct {
+		A int     `json:"a"`
+		B string  `json:"b"`
+		C *int    `json:"c,omitempty"`
+		D float64 `json:"d"`
+	}{A: 1, B: "x", D: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("missing trailing newline")
+	}
+	if !strings.Contains(out, `"a": 1`) || !strings.Contains(out, `"d": 2.5`) {
+		t.Errorf("fields missing:\n%s", out)
+	}
+	if strings.Contains(out, `"c"`) {
+		t.Errorf("omitempty field serialized:\n%s", out)
+	}
+	// NaN is a caller bug and must surface as an error, not output.
+	if err := WriteJSON(io.Discard, math.NaN()); err == nil {
+		t.Error("NaN should fail to encode")
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := Table{Title: "demo", Header: []string{"a", "b"}}
+	tb.AddRow("x", 1.5)
+	var buf strings.Builder
+	if err := tb.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dec struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Title != "demo" || len(dec.Header) != 2 || len(dec.Rows) != 1 || dec.Rows[0][1] != "1.5" {
+		t.Errorf("round trip: %+v", dec)
+	}
+	// An empty table still emits a rows array, not null.
+	var empty Table
+	buf.Reset()
+	if err := empty.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"rows": []`) {
+		t.Errorf("empty rows should be [], got:\n%s", buf.String())
 	}
 }
 

@@ -237,6 +237,11 @@ func (n *Node) SetDownlinkShaper(tb *TokenBucket) { n.down.shaper = tb }
 // SetUplinkShaper installs (or removes, with nil) an egress shaper.
 func (n *Node) SetUplinkShaper(tb *TokenBucket) { n.up.shaper = tb }
 
+// SetDownlinkLoss sets the node's ingress random-loss probability,
+// mirroring a netem loss discipline on the last mile. It replaces any
+// probability configured at AddNode time; 0 disables random loss.
+func (n *Node) SetDownlinkLoss(p float64) { n.down.lossProb = p }
+
 // UplinkStats and DownlinkStats expose access-link counters.
 func (n *Node) UplinkStats() PipeStats   { return n.up.stats }
 func (n *Node) DownlinkStats() PipeStats { return n.down.stats }

@@ -159,6 +159,39 @@ func TestRandomLoss(t *testing.T) {
 	}
 }
 
+// SetDownlinkLoss installs (and replaces) ingress loss after the node
+// exists — the seam campaign netem conditions use.
+func TestSetDownlinkLoss(t *testing.T) {
+	s, n := newTestNet(124)
+	a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})
+	b := n.AddNode(NodeConfig{Name: "b", Region: geo.USEast2})
+	got := 0
+	b.Bind(5, func(p *Packet) { got++ })
+	b.SetDownlinkLoss(0.4)
+	const sent = 2000
+	for i := 0; i < sent; i++ {
+		a.Send(&Packet{To: Addr{"b", 5}, Size: 100})
+	}
+	s.Run()
+	frac := float64(got) / sent
+	if frac < 0.54 || frac > 0.66 {
+		t.Errorf("delivered fraction = %.3f, want ~0.60", frac)
+	}
+	if b.DownlinkStats().DropsRandom != int64(sent-got) {
+		t.Error("loss accounting mismatch")
+	}
+	// Loss can be turned back off.
+	b.SetDownlinkLoss(0)
+	before := got
+	for i := 0; i < 100; i++ {
+		a.Send(&Packet{To: Addr{"b", 5}, Size: 100})
+	}
+	s.Run()
+	if got-before != 100 {
+		t.Errorf("delivered %d/100 after disabling loss", got-before)
+	}
+}
+
 func TestTapSeesBothDirections(t *testing.T) {
 	s, n := newTestNet(1)
 	a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})

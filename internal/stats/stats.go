@@ -13,7 +13,11 @@ import (
 )
 
 // Sample accumulates float64 observations for offline summary statistics.
-// The zero value is ready to use.
+// The zero value is ready to use. Every summary statistic (Mean, StdDev,
+// Min, Max, Quantile, Median, Summarize) returns NaN — never panics,
+// never a fabricated zero — when the sample is empty, so callers that
+// may render absent signals (e.g. MOS with audio disabled) must either
+// check Len or route values through a NaN-aware renderer.
 type Sample struct {
 	xs     []float64
 	sorted bool

@@ -38,6 +38,7 @@ import (
 	"github.com/vcabench/vcabench/internal/geo"
 	"github.com/vcabench/vcabench/internal/media"
 	"github.com/vcabench/vcabench/internal/platform"
+	"github.com/vcabench/vcabench/internal/report"
 )
 
 // Re-exported platform identities.
@@ -70,6 +71,18 @@ type (
 	Scheduler = core.Scheduler
 	// Unit is one independent campaign shard for the Scheduler.
 	Unit = core.Unit
+	// Campaign declares a QoE sweep as a grid of axis values.
+	Campaign = core.Campaign
+	// Geometry places a campaign cell's host and receiver pool.
+	Geometry = core.Geometry
+	// Netem is a receiver-side last-mile impairment condition.
+	Netem = core.Netem
+	// CampaignResult aggregates a campaign run (JSON-encodable).
+	CampaignResult = core.CampaignResult
+	// CellResult is one campaign grid point's outcome.
+	CellResult = core.CellResult
+	// Metric summarizes one sample of a cell result.
+	Metric = core.Metric
 )
 
 // Scales.
@@ -98,8 +111,8 @@ const (
 func NewTestbed(seed int64) *Testbed { return core.NewTestbed(seed) }
 
 // NewTestbedParallel provisions a testbed with an explicit campaign
-// worker count; workers <= 0 selects the default. Worker count never
-// changes results, only wall-clock time.
+// worker count; workers == 0 selects the default and negative counts
+// panic. Worker count never changes results, only wall-clock time.
 func NewTestbedParallel(seed int64, workers int) *Testbed {
 	return core.NewTestbed(seed).SetParallelism(workers)
 }
@@ -121,6 +134,24 @@ func RunQoEStudy(tb *Testbed, kind platform.Kind, host Region, recvs []Region,
 	return core.RunQoEStudy(tb, kind, host, recvs, motion, sc, opts)
 }
 
+// RunCampaign expands a declarative campaign grid and executes every
+// cell through the memo-aware scheduler. Results depend only on
+// (tb seed, cell key): for a given spec, scale and seed the result —
+// including its JSON encoding — is byte-identical at any worker count.
+func RunCampaign(tb *Testbed, spec Campaign, sc Scale) (*CampaignResult, error) {
+	return core.RunCampaign(tb, spec, sc)
+}
+
+// ParseCampaign decodes and validates a JSON campaign spec (the
+// -campaign file format of cmd/vcabench; see README).
+func ParseCampaign(data []byte) (Campaign, error) {
+	return core.ParseCampaign(data)
+}
+
+// WriteJSON renders any result value (e.g. a *CampaignResult) as
+// indented JSON followed by a newline.
+func WriteJSON(w io.Writer, v any) error { return report.WriteJSON(w, v) }
+
 // List returns every reproducible artifact (tables, figures, ablations).
 func List() []Experiment { return core.Experiments() }
 
@@ -132,9 +163,13 @@ func Run(id string, seed int64, sc Scale, w io.Writer) error {
 }
 
 // RunParallel is Run with an explicit campaign worker count
-// (workers <= 0 means runtime.GOMAXPROCS(0), 1 means serial). Output is
-// byte-identical at any worker count for the same seed and scale.
+// (workers == 0 means runtime.GOMAXPROCS(0), 1 means serial; negative
+// counts are rejected). Output is byte-identical at any worker count
+// for the same seed and scale.
 func RunParallel(id string, seed int64, sc Scale, workers int, w io.Writer) error {
+	if workers < 0 {
+		return fmt.Errorf("vcabench: worker count %d must be >= 1 (or 0 for the default)", workers)
+	}
 	e, ok := core.Lookup(id)
 	if !ok {
 		return fmt.Errorf("vcabench: unknown experiment %q (use List)", id)
