@@ -40,6 +40,39 @@ func runExperimentParallel(b *testing.B, id string, workers int) {
 	}
 }
 
+// Cold-vs-warm store pairs over the 30-cell US sweep: Cold pays full
+// compute plus persistence into a fresh store; Warm serves every cell
+// from a pre-populated store. The gap is the cache win the persistent
+// result store buys every rerun, CI job and daemon query.
+func BenchmarkFig12SweepCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := vcabench.OpenStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vcabench.RunWithOpts("fig12", 42, benchScale, vcabench.RunOpts{Store: st}, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12SweepWarm(b *testing.B) {
+	st, err := vcabench.OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate once; every timed iteration then recomputes zero cells.
+	if err := vcabench.RunWithOpts("fig12", 42, benchScale, vcabench.RunOpts{Store: st}, io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vcabench.RunWithOpts("fig12", 42, benchScale, vcabench.RunOpts{Store: st}, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Serial-vs-parallel pairs over the two heaviest campaign shapes: a
 // (platform, scenario) lag figure and the 30-cell §4.3.1 US QoE sweep.
 func BenchmarkFig4CampaignSerial(b *testing.B)     { runExperimentParallel(b, "fig4", 1) }

@@ -4,9 +4,9 @@
 // Usage:
 //
 //	vcabench -list
-//	vcabench -run fig4 [-scale quick|paper|tiny] [-seed 42] [-parallel N]
+//	vcabench -run fig4 [-scale quick|paper|tiny] [-seed 42] [-parallel N] [-cache DIR]
 //	vcabench -run all
-//	vcabench -campaign spec.json [-json results.json]
+//	vcabench -campaign spec.json [-json results.json] [-cache DIR]
 //
 // -parallel bounds the campaign worker pool (0 = one worker per CPU,
 // 1 = serial; negative counts are rejected). Output is byte-identical
@@ -16,10 +16,20 @@
 // README for the format) and renders a per-cell table; -json
 // additionally writes the structured results to a file. With
 // "-json -" stdout carries only the JSON document (no table), so it
-// pipes cleanly into jq and friends.
+// pipes cleanly into jq and friends. -json without -campaign is a
+// usage error.
+//
+// -cache persists campaign-unit results in the given directory: a
+// rerun of the same experiment or spec (same seed and scale, any
+// -parallel value, any process) serves every cell from the store and
+// produces byte-identical output. The cache directory is shared safely
+// between concurrent runs and with the vcabenchd daemon; a summary
+// line ("vcabench: cache: N hits, M misses, K cells stored") goes to
+// stderr after each cached run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,11 +47,24 @@ func main() {
 		scale    = flag.String("scale", "quick", "experiment scale: tiny, quick or paper")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		parallel = flag.Int("parallel", 0, "campaign worker count (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir = flag.String("cache", "", "persist campaign-unit results in this directory")
 	)
 	flag.Parse()
 
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "vcabench: -parallel %d: worker count must be >= 1 (or 0 for the default)\n", *parallel)
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Flag-consistency errors beat silent ignoring, so they are checked
+	// before -list short-circuits.
+	if *jsonOut != "" && *campaign == "" {
+		fmt.Fprintln(os.Stderr, "vcabench: -json requires -campaign")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *cacheDir != "" && *run == "" && *campaign == "" {
+		fmt.Fprintln(os.Stderr, "vcabench: -cache requires -run or -campaign")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -57,28 +80,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *jsonOut != "" && *campaign == "" {
-		fmt.Fprintln(os.Stderr, "vcabench: -json requires -campaign")
-		flag.Usage()
-		os.Exit(2)
-	}
 
-	var sc vcabench.Scale
-	switch *scale {
-	case "tiny":
-		sc = vcabench.TinyScale
-	case "quick":
-		sc = vcabench.QuickScale
-	case "paper":
-		sc = vcabench.PaperScale
-	default:
+	sc, ok := vcabench.ScaleByName(*scale)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "vcabench: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
 
+	var st *vcabench.Store
+	if *cacheDir != "" {
+		var err error
+		st, err = vcabench.OpenStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcabench:", err)
+			os.Exit(1)
+		}
+		defer reportCache(st)
+	}
+
 	if *campaign != "" {
-		if err := runCampaign(*campaign, *jsonOut, *seed, sc, *parallel); err != nil {
+		if err := runCampaign(*campaign, *jsonOut, *seed, sc, *parallel, st); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			reportCache(st)
 			os.Exit(1)
 		}
 		return
@@ -91,20 +114,43 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	}
+	opts := vcabench.RunOpts{Workers: *parallel}
+	if st != nil {
+		// A typed-nil *Store must not become a non-nil CellStore.
+		opts.Store = st
+	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		fmt.Printf("=== %s (scale=%s, seed=%d) ===\n", id, sc.Name, *seed)
-		if err := vcabench.RunParallel(id, *seed, sc, *parallel, os.Stdout); err != nil {
+		err := vcabench.RunWithOpts(id, *seed, sc, opts, os.Stdout)
+		if errors.Is(err, vcabench.ErrStore) {
+			// The artifact rendered fully; only caching failed.
+			fmt.Fprintln(os.Stderr, "vcabench: warning:", err)
+			err = nil
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			reportCache(st)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
 }
 
+// reportCache prints the store traffic summary; the CI smoke test
+// parses this line, so keep its shape stable.
+func reportCache(st *vcabench.Store) {
+	if st == nil {
+		return
+	}
+	s := st.Stats()
+	fmt.Fprintf(os.Stderr, "vcabench: cache: %d hits, %d misses, %d cells stored\n",
+		s.Hits(), s.Misses, s.Puts)
+}
+
 // runCampaign loads a spec file, runs the grid and writes the text
 // table to stdout plus, optionally, JSON results to jsonPath.
-func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, workers int) error {
+func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, workers int, st *vcabench.Store) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return fmt.Errorf("vcabench: %w", err)
@@ -114,9 +160,15 @@ func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, worke
 		return fmt.Errorf("vcabench: %s: %w", specPath, err)
 	}
 	tb := vcabench.NewTestbedParallel(seed, workers)
+	if st != nil {
+		tb.WithStore(st)
+	}
 	res, err := vcabench.RunCampaign(tb, spec, sc)
 	if err != nil {
 		return fmt.Errorf("vcabench: %w", err)
+	}
+	if serr := tb.StoreErr(); serr != nil {
+		fmt.Fprintln(os.Stderr, "vcabench: warning: persisting results failed:", serr)
 	}
 	// With -json -, stdout is the machine-readable document; keep it
 	// parseable by skipping the human table.

@@ -1,0 +1,78 @@
+// Command vcabenchd serves campaign grids over HTTP: clients POST
+// declarative campaign specs, the daemon executes them through the
+// shared scheduler with bounded concurrency, and results are served as
+// typed JSON — byte-identical to what `vcabench -campaign spec.json
+// -json -` prints for the same spec, scale and seed. With -cache, every
+// campaign shares one persistent cell store (also shareable with the
+// CLI), so overlapping grids from many clients recompute nothing.
+//
+// Usage:
+//
+//	vcabenchd [-addr :8547] [-scale quick] [-seed 42]
+//	          [-parallel N] [-runs M] [-cache DIR]
+//
+// Endpoints (see internal/serve for the full contract):
+//
+//	POST /campaigns             submit {"spec": {...}, "scale": "...", "seed": N}
+//	GET  /campaigns/{id}        poll job status
+//	GET  /campaigns/{id}/result fetch the result document
+//	GET  /cells/{key}           fetch one cell by canonical unit key
+//	GET  /healthz               liveness + store statistics
+//
+// Example session:
+//
+//	vcabenchd -scale tiny -cache /var/cache/vcabench &
+//	curl -s -X POST localhost:8547/campaigns \
+//	    -d "{\"spec\": $(cat spec.json)}" | jq -r .id
+//	curl -s localhost:8547/campaigns/<id>          # until "status": "done"
+//	curl -s localhost:8547/campaigns/<id>/result
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/vcabench/vcabench/internal/core"
+	"github.com/vcabench/vcabench/internal/serve"
+	"github.com/vcabench/vcabench/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8547", "listen address")
+		scale    = flag.String("scale", "quick", "default experiment scale: tiny, quick or paper")
+		seed     = flag.Int64("seed", 42, "default simulation seed")
+		parallel = flag.Int("parallel", 0, "worker pool per campaign (0 = GOMAXPROCS, 1 = serial)")
+		runs     = flag.Int("runs", 0, "concurrently executing campaigns (0 = NumCPU)")
+		cacheDir = flag.String("cache", "", "persist campaign-unit results in this directory")
+	)
+	flag.Parse()
+
+	if *parallel < 0 || *runs < 0 {
+		fmt.Fprintln(os.Stderr, "vcabenchd: -parallel and -runs must be >= 0")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc, ok := core.ScaleByName(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vcabenchd: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg := serve.Config{Seed: *seed, Scale: sc, Workers: *parallel, MaxRuns: *runs}
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcabenchd:", err)
+			os.Exit(1)
+		}
+		cfg.Store = st
+	}
+	srv := serve.New(cfg)
+	log.Printf("vcabenchd: listening on %s (%s)", *addr, srv.Describe())
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal("vcabenchd: ", err)
+	}
+}

@@ -2,7 +2,8 @@
 //
 // Input format: one "label,value" pair per line (a header line is
 // skipped if its value column is not numeric). All samples sharing a
-// label become one curve.
+// label become one curve. Parsing lives in internal/report
+// (ParseCSVSeries), where it is unit-tested.
 //
 // Usage:
 //
@@ -11,13 +12,10 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"github.com/vcabench/vcabench/internal/report"
 )
@@ -43,39 +41,18 @@ func main() {
 		r = f
 	}
 
-	series := map[string][]float64{}
-	var order []string
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		i := strings.LastIndex(line, ",")
-		if i < 0 {
-			continue
-		}
-		label := strings.TrimSpace(line[:i])
-		v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
-		if err != nil {
-			continue // header or junk
-		}
-		if _, ok := series[label]; !ok {
-			order = append(order, label)
-		}
-		series[label] = append(series[label], v)
-	}
-	if err := sc.Err(); err != nil {
+	series, err := report.ParseCSVSeries(r)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "vcaplot:", err)
 		os.Exit(1)
 	}
-	if len(order) == 0 {
+	if len(series) == 0 {
 		fmt.Fprintln(os.Stderr, "vcaplot: no samples found")
 		os.Exit(1)
 	}
 	p := report.CDFPlot{Title: *title, XLabel: *xlabel, Width: *width, Height: *height}
-	for _, label := range order {
-		p.Add(label, series[label])
+	for _, s := range series {
+		p.Add(s.Label, s.Values)
 	}
 	p.Render(os.Stdout)
 }

@@ -24,9 +24,12 @@ func load(path, ipStr string) (*capture.Trace, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var ip capture.IPv4
-	if _, err := fmt.Sscanf(ipStr, "%d.%d.%d.%d", &ip[0], &ip[1], &ip[2], &ip[3]); err != nil {
-		return nil, fmt.Errorf("bad -ip %q: %w", ipStr, err)
+	// Strict parsing: Sscanf would accept "1.2.3.4.5" and "999.0.0.1",
+	// silently classifying every packet's direction against a bogus
+	// address.
+	ip, err := capture.ParseIPv4(ipStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -ip: %w", err)
 	}
 	tr, skipped, err := capture.ReadPcap(f, path, ip)
 	if err != nil {

@@ -390,3 +390,42 @@ func TestSizeSeries(t *testing.T) {
 		t.Errorf("series: %v %v", times, sizes)
 	}
 }
+
+// ParseIPv4 is the strict replacement for Sscanf-based parsing in
+// cmd/vcatrace: trailing garbage and out-of-range octets must fail.
+func TestParseIPv4(t *testing.T) {
+	good := map[string]IPv4{
+		"0.0.0.0":         {0, 0, 0, 0},
+		"1.2.3.4":         {1, 2, 3, 4},
+		"10.200.30.255":   {10, 200, 30, 255},
+		"255.255.255.255": {255, 255, 255, 255},
+	}
+	for in, want := range good {
+		got, err := ParseIPv4(in)
+		if err != nil || got != want {
+			t.Errorf("ParseIPv4(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	bad := []string{
+		"",
+		"1.2.3",
+		"1.2.3.4.5", // trailing extra octet (Sscanf accepted this)
+		"999.0.0.1", // out-of-range octet (Sscanf truncated this)
+		"256.1.1.1",
+		"1.2.3.4 ",
+		" 1.2.3.4",
+		"1..3.4",
+		"1.2.3.04", // leading zero
+		"01.2.3.4",
+		"+1.2.3.4",
+		"-1.2.3.4",
+		"1.2.3.4x",
+		"a.b.c.d",
+		"1.2.3.1234",
+	}
+	for _, in := range bad {
+		if got, err := ParseIPv4(in); err == nil {
+			t.Errorf("ParseIPv4(%q) = %v, want error", in, got)
+		}
+	}
+}

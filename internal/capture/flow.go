@@ -9,6 +9,7 @@ package capture
 import (
 	"fmt"
 	"hash/fnv"
+	"net/netip"
 )
 
 // IPv4 is a four-byte address. Simulated nodes get deterministic addresses
@@ -17,6 +18,19 @@ type IPv4 [4]byte
 
 func (ip IPv4) String() string {
 	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// ParseIPv4 parses a dotted-quad address strictly: exactly four decimal
+// octets in [0, 255], no leading zeros (octal ambiguity), no signs, no
+// whitespace, no trailing garbage. This is deliberately stricter than
+// fmt.Sscanf("%d.%d.%d.%d"), which accepts "1.2.3.4.5" (trailing data
+// ignored) and "999.0.0.1" (out-of-range octets truncated to a byte).
+func ParseIPv4(s string) (IPv4, error) {
+	a, err := netip.ParseAddr(s)
+	if err != nil || !a.Is4() { // Is4 also excludes 4-in-6 forms
+		return IPv4{}, fmt.Errorf("capture: %q is not a dotted-quad IPv4 address", s)
+	}
+	return IPv4(a.As4()), nil
 }
 
 // IPForName deterministically maps a node name into the 10.0.0.0/8 range,

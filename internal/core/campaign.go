@@ -617,7 +617,12 @@ func RunCampaign(tb *Testbed, spec Campaign, sc Scale) (*CampaignResult, error) 
 	for i, c := range cells {
 		keys[i] = c.key
 	}
-	res := tb.runMemoized(keys, func(stb *Testbed, i int) any {
+	// The store salt carries what unit keys omit: single-valued axes
+	// never become key segments, so two same-named campaigns differing
+	// only there share keys but must not share persisted cells. Equal
+	// resolved specs (fig12/fig14/fig15) produce equal salts and keep
+	// sharing across processes.
+	res := tb.runMemoized(sc, fingerprint(fmt.Sprintf("%+v", rc)), keys, func(stb *Testbed, i int) any {
 		return runCell(stb, cells[i], sc)
 	})
 	out := &CampaignResult{

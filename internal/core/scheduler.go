@@ -143,15 +143,26 @@ func (s *Scheduler) Run(units []Unit) {
 // fork. Experiments that share a campaign (fig12/fig14/fig15 all read
 // the §4.3.1 US sweep; Figs 4-11 share four lag campaigns) hit the memo
 // on every call after the first.
-func (tb *Testbed) runMemoized(keys []string, run func(stb *Testbed, i int) any) []any {
+//
+// When a CellStore is attached (WithStore), a second tier sits behind
+// the memo: units found in the store are decoded instead of computed,
+// and freshly computed units are persisted — so the sharing extends
+// across processes. sc and salt scope the persisted keys (see cellKey);
+// they never influence in-memory behaviour.
+func (tb *Testbed) runMemoized(sc Scale, salt string, keys []string, run func(stb *Testbed, i int) any) []any {
 	out := make([]any, len(keys))
 	var missing []int
 	for i, k := range keys {
 		if v, ok := tb.memoGet(k); ok {
 			out[i] = v
-		} else {
-			missing = append(missing, i)
+			continue
 		}
+		if v, ok := tb.storeGet(sc, salt, k); ok {
+			out[i] = v
+			tb.memoPut(k, v)
+			continue
+		}
+		missing = append(missing, i)
 	}
 	if len(missing) == 0 {
 		return out
@@ -166,6 +177,10 @@ func (tb *Testbed) runMemoized(keys []string, run func(stb *Testbed, i int) any)
 	(&Scheduler{TB: tb}).Run(units)
 	for _, i := range missing {
 		tb.memoPut(keys[i], out[i])
+		// Persist before returning: renderers sort samples in place,
+		// and the stored observation order must be the pre-render one
+		// a cold run would also see.
+		tb.storePut(sc, salt, keys[i], out[i])
 	}
 	return out
 }

@@ -46,6 +46,12 @@ type Testbed struct {
 	// campaigns pins each campaign name run on this testbed to one
 	// resolved-spec fingerprint (see RunCampaign). Guarded by memoMu.
 	campaigns map[string]string
+
+	// store, when set via WithStore, persists memoized unit results
+	// across processes; storeErr records the first failed persist
+	// (guarded by memoMu). See cellstore.go.
+	store    CellStore
+	storeErr error
 }
 
 // registerCampaign records (or re-checks) the fingerprint of a named
@@ -167,6 +173,17 @@ var (
 		Profile: media.QuickProfile,
 	}
 )
+
+// ScaleByName maps a predefined scale's name ("tiny", "quick",
+// "paper") to the scale, for CLI flags and service requests.
+func ScaleByName(name string) (Scale, bool) {
+	for _, sc := range []Scale{TinyScale, QuickScale, PaperScale} {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scale{}, false
+}
 
 // USLagFleet returns the six non-host US vantage points for a given host
 // (Table 3: seven VMs, the host plus six participants).

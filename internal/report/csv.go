@@ -1,0 +1,59 @@
+package report
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Series is one labeled sample set parsed from CSV, in input order.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// ParseCSVSeries reads "label,value" lines — the cmd/vcaplot input
+// format — into labeled series:
+//
+//   - the split is at the LAST comma, so labels may contain commas;
+//   - blank lines, lines without a comma, and lines whose value column
+//     is not numeric (a header, junk) are skipped;
+//   - all samples sharing a label form one series, and series keep the
+//     order in which their label first appeared.
+//
+// An input with no parseable samples returns an empty slice and no
+// error; only a read failure from r is an error.
+func ParseCSVSeries(r io.Reader) ([]Series, error) {
+	var (
+		out   []Series
+		index = map[string]int{}
+	)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		i := strings.LastIndex(line, ",")
+		if i < 0 {
+			continue
+		}
+		label := strings.TrimSpace(line[:i])
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+		if err != nil {
+			continue // header or junk
+		}
+		si, ok := index[label]
+		if !ok {
+			si = len(out)
+			index[label] = si
+			out = append(out, Series{Label: label})
+		}
+		out[si].Values = append(out[si].Values, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

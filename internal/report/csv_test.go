@@ -1,0 +1,82 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseCSVSeries(t *testing.T) {
+	in := `label,value
+us-west,10.5
+us-east,3
+
+us-west,11.0
+garbage line without comma
+trailing,junk,value,notanumber
+us-east,4.25
+with,comma,7
+`
+	series, err := ParseCSVSeries(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Series{
+		{Label: "us-west", Values: []float64{10.5, 11.0}},
+		{Label: "us-east", Values: []float64{3, 4.25}},
+		{Label: "with,comma", Values: []float64{7}}, // split at the LAST comma
+	}
+	if len(series) != len(want) {
+		t.Fatalf("got %d series (%+v), want %d", len(series), series, len(want))
+	}
+	for i, w := range want {
+		got := series[i]
+		if got.Label != w.Label {
+			t.Errorf("series %d label = %q, want %q (first-seen order)", i, got.Label, w.Label)
+		}
+		if len(got.Values) != len(w.Values) {
+			t.Errorf("series %q values = %v, want %v", w.Label, got.Values, w.Values)
+			continue
+		}
+		for j := range w.Values {
+			if got.Values[j] != w.Values[j] {
+				t.Errorf("series %q value %d = %v, want %v", w.Label, j, got.Values[j], w.Values[j])
+			}
+		}
+	}
+}
+
+// A pure header (or empty) input yields no series — the caller decides
+// whether that is an error.
+func TestParseCSVSeriesEmpty(t *testing.T) {
+	for _, in := range []string{"", "label,value\n", "no commas here\n\n"} {
+		series, err := ParseCSVSeries(strings.NewReader(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) != 0 {
+			t.Errorf("ParseCSVSeries(%q) = %+v, want none", in, series)
+		}
+	}
+}
+
+// Values with surrounding whitespace parse; the label is trimmed too.
+func TestParseCSVSeriesWhitespace(t *testing.T) {
+	series, err := ParseCSVSeries(strings.NewReader("  spaced label ,  42.5  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || series[0].Label != "spaced label" || series[0].Values[0] != 42.5 {
+		t.Errorf("got %+v", series)
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestParseCSVSeriesReadError(t *testing.T) {
+	if _, err := ParseCSVSeries(failingReader{}); err == nil {
+		t.Error("read failure not surfaced")
+	}
+}

@@ -1,0 +1,453 @@
+// Package serve is the campaign service behind cmd/vcabenchd: an HTTP
+// daemon that accepts declarative campaign specs, executes them through
+// the shared scheduler and (optionally) a persistent cell store, and
+// serves typed JSON results. Many clients thereby share one warm cache:
+// the measurement-platform shape of MacMillan et al. (2021) and Kumar
+// et al. (2022), where overlapping grid queries hit a common corpus of
+// expensive measurements.
+//
+// API:
+//
+//	POST /campaigns            {"spec": {...}, "scale": "quick", "seed": 42}
+//	                           → 202 {"id": "...", "status": "queued", ...}
+//	GET  /campaigns/{id}       → job status (queued|running|done|failed)
+//	GET  /campaigns/{id}/result→ the CampaignResult JSON document,
+//	                             byte-identical to `vcabench -campaign
+//	                             spec.json -json -` at the same scale/seed
+//	GET  /cells/{key}          → one completed cell by canonical unit key,
+//	                             at the server's default scale and seed;
+//	                             ?scale= and ?seed= select others. Within
+//	                             one (scale, seed), campaigns sharing keys
+//	                             (fig12/fig14) agree on cell contents.
+//	GET  /healthz              → liveness plus store statistics
+//
+// Campaign IDs are content-derived — SHA-256 over (resolved spec, scale,
+// seed) — so resubmitting a spec returns the existing job instead of
+// recomputing, and identical specs race-merge onto one execution.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/vcabench/vcabench/internal/core"
+	"github.com/vcabench/vcabench/internal/report"
+	"github.com/vcabench/vcabench/internal/store"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Seed is the default simulation seed for requests that omit one.
+	Seed int64
+	// Scale is the default experiment scale for requests that omit one.
+	Scale core.Scale
+	// Workers bounds each campaign's scheduler pool (0 = GOMAXPROCS).
+	Workers int
+	// MaxRuns bounds concurrently executing campaigns (0 = NumCPU,
+	// min 1); queued jobs wait their turn.
+	MaxRuns int
+	// Store, when non-nil, is the persistent cell store shared by every
+	// campaign this server executes (and any CLI pointed at the same
+	// directory).
+	Store core.CellStore
+	// MaxJobs bounds retained finished jobs (0 = DefaultMaxJobs).
+	// Beyond it the oldest finished job — result document and its
+	// cells-index entries — is dropped; resubmitting its spec re-runs
+	// it, served warm from the store. Queued and running jobs are
+	// never evicted.
+	MaxJobs int
+}
+
+// DefaultMaxJobs bounds retained finished jobs when Config.MaxJobs is
+// unset. Results and cell indexes live in memory; without a bound,
+// clients sweeping seeds or scales would grow the daemon without limit
+// even though the persistent store already holds every cell on disk.
+const DefaultMaxJobs = 256
+
+// Server executes submitted campaigns and serves their results.
+type Server struct {
+	cfg Config
+	sem chan struct{} // bounds concurrent campaign executions
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string          // finished job ids, oldest first
+	cells    map[string][]byte // scoped cell key → CellResult JSON
+	cellRefs map[string]int    // retained jobs referencing each key
+}
+
+// cellIndexKey scopes the /cells index: the same unit key holds
+// different values at different scales or seeds, so the bare key would
+// let one client's seed override silently shadow another's cells.
+func cellIndexKey(scaleName string, seed int64, unitKey string) string {
+	return fmt.Sprintf("%s/%d/%s", scaleName, seed, unitKey)
+}
+
+// job is one submitted campaign execution.
+type job struct {
+	id        string
+	name      string
+	scaleName string
+	seed      int64
+	spec      core.Campaign
+
+	status   string // "queued" | "running" | "done" | "failed"
+	errMsg   string
+	result   []byte // WriteJSON bytes of the CampaignResult
+	cells    int
+	cellKeys []string      // keys this job contributed to the cells index
+	done     chan struct{} // closed on done/failed
+}
+
+// New creates a Server. The zero Config is usable: seed 0, quick scale
+// defaults applied by the daemon's flags normally override these.
+func New(cfg Config) *Server {
+	if cfg.Scale.Name == "" {
+		cfg.Scale = core.QuickScale
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = runtime.NumCPU()
+		if cfg.MaxRuns < 1 {
+			cfg.MaxRuns = 1
+		}
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	return &Server{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxRuns),
+		jobs:     make(map[string]*job),
+		cells:    make(map[string][]byte),
+		cellRefs: make(map[string]int),
+	}
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /cells/{key...}", s.handleCell)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// submitRequest is the POST /campaigns body. Spec is kept raw so the
+// campaign parser's strict decoding (unknown fields, trailing data)
+// applies to it verbatim.
+type submitRequest struct {
+	Spec  json.RawMessage `json:"spec"`
+	Scale string          `json:"scale,omitempty"`
+	Seed  *int64          `json:"seed,omitempty"`
+}
+
+// jobStatus is the wire form of a job.
+type jobStatus struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Scale  string `json:"scale"`
+	Seed   int64  `json:"seed"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Cells is the number of result cells once the job is done.
+	Cells int `json:"cells,omitempty"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	msg, _ := json.Marshal(fmt.Sprintf(format, args...))
+	fmt.Fprintf(w, "{\"error\": %s}\n", msg)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	report.WriteJSON(w, v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Spec) == 0 {
+		httpError(w, http.StatusBadRequest, "request needs a \"spec\" field holding a campaign")
+		return
+	}
+	spec, err := core.ParseCampaign(req.Spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sc := s.cfg.Scale
+	if req.Scale != "" {
+		var ok bool
+		if sc, ok = core.ScaleByName(req.Scale); !ok {
+			httpError(w, http.StatusBadRequest, "unknown scale %q (want tiny, quick or paper)", req.Scale)
+			return
+		}
+	}
+	seed := s.cfg.Seed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+
+	id := campaignID(spec, sc.Name, seed)
+	s.mu.Lock()
+	j, exists := s.jobs[id]
+	if !exists {
+		j = &job{
+			id: id, name: spec.Name, scaleName: sc.Name, seed: seed,
+			spec: spec, status: "queued", done: make(chan struct{}),
+		}
+		s.jobs[id] = j
+		go s.run(j, sc)
+	}
+	st := s.statusOf(j)
+	s.mu.Unlock()
+	code := http.StatusAccepted
+	if exists {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// campaignID derives the content address of a submission. Campaign
+// JSON marshalling is deterministic (fixed struct field order), so
+// equal submissions collapse onto one job.
+func campaignID(spec core.Campaign, scaleName string, seed int64) string {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		// Campaign is a plain data struct; Marshal cannot fail on it.
+		panic("serve: marshal campaign: " + err.Error())
+	}
+	sum := sha256.New()
+	sum.Write(raw)
+	fmt.Fprintf(sum, "|%s|%d", scaleName, seed)
+	return hex.EncodeToString(sum.Sum(nil))[:16]
+}
+
+// run executes one job under the concurrency bound.
+func (s *Server) run(j *job, sc core.Scale) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	s.mu.Lock()
+	j.status = "running"
+	s.mu.Unlock()
+
+	fail := func(msg string) {
+		s.mu.Lock()
+		j.status = "failed"
+		j.errMsg = msg
+		s.finish(j)
+		s.mu.Unlock()
+		close(j.done)
+	}
+
+	// The engine panics on internal invariant violations, and this
+	// goroutine — unlike an http handler's — would otherwise take the
+	// whole daemon (and every other client's jobs) down with it.
+	defer func() {
+		if r := recover(); r != nil {
+			fail(fmt.Sprintf("panic: %v", r))
+		}
+	}()
+
+	tb := core.NewTestbed(j.seed).SetParallelism(s.cfg.Workers)
+	if s.cfg.Store != nil {
+		tb.WithStore(s.cfg.Store)
+	}
+	res, err := core.RunCampaign(tb, j.spec, sc)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, res); err != nil {
+		fail("encode result: " + err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	j.status = "done"
+	j.result = buf.Bytes()
+	j.cells = len(res.Cells)
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		var cb bytes.Buffer
+		if report.WriteJSON(&cb, c) == nil {
+			ck := cellIndexKey(j.scaleName, j.seed, c.Key)
+			s.cells[ck] = cb.Bytes()
+			s.cellRefs[ck]++
+			j.cellKeys = append(j.cellKeys, ck)
+		}
+	}
+	s.finish(j)
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// finish records a terminal job and evicts the oldest finished jobs
+// beyond MaxJobs — result documents and cell-index entries are dropped
+// (the persistent store still holds every computed cell, so a
+// resubmission re-runs warm). Caller holds s.mu.
+func (s *Server) finish(j *job) {
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.MaxJobs {
+		old := s.jobs[s.finished[0]]
+		s.finished = s.finished[1:]
+		if old == nil {
+			continue
+		}
+		for _, key := range old.cellKeys {
+			if s.cellRefs[key]--; s.cellRefs[key] <= 0 {
+				delete(s.cellRefs, key)
+				delete(s.cells, key)
+			}
+		}
+		delete(s.jobs, old.id)
+	}
+}
+
+// statusOf snapshots a job; caller holds s.mu.
+func (s *Server) statusOf(j *job) jobStatus {
+	return jobStatus{
+		ID: j.id, Name: j.name, Scale: j.scaleName, Seed: j.seed,
+		Status: j.status, Error: j.errMsg, Cells: j.cells,
+	}
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	st := s.statusOf(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	status, errMsg, result := j.status, j.errMsg, j.result
+	s.mu.Unlock()
+	switch status {
+	case "done":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(result)
+	case "failed":
+		httpError(w, http.StatusConflict, "campaign failed: %s", errMsg)
+	default:
+		httpError(w, http.StatusAccepted, "campaign is %s; poll GET /campaigns/%s", status, j.id)
+	}
+}
+
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	scaleName := s.cfg.Scale.Name
+	if q := r.URL.Query().Get("scale"); q != "" {
+		scaleName = q
+	}
+	seed := s.cfg.Seed
+	if q := r.URL.Query().Get("seed"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad seed %q", q)
+			return
+		}
+		seed = v
+	}
+	s.mu.Lock()
+	data, ok := s.cells[cellIndexKey(scaleName, seed, key)]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound,
+			"no completed cell %q at scale=%s seed=%d (cells appear once their campaign finishes; ?scale=/?seed= select non-default runs)",
+			key, scaleName, seed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// health is the GET /healthz document.
+type health struct {
+	Status string       `json:"status"`
+	Jobs   int          `json:"jobs"`
+	Store  *store.Stats `json:"store,omitempty"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	h := health{Status: "ok", Jobs: n}
+	if ss, ok := s.cfg.Store.(interface{ Stats() store.Stats }); ok {
+		st := ss.Stats()
+		h.Store = &st
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// Jobs returns the IDs of all submitted campaigns, for debugging and
+// tests; order is unspecified.
+func (s *Server) Jobs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Wait blocks until the given job finishes (done or failed); it
+// returns false for an unknown id. Used by tests and graceful paths.
+func (s *Server) Wait(id string) bool {
+	j, ok := s.lookup(id)
+	if !ok {
+		return false
+	}
+	<-j.done
+	return true
+}
+
+// Describe summarizes the server configuration for startup logs.
+func (s *Server) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scale=%s seed=%d workers=%d max-runs=%d",
+		s.cfg.Scale.Name, s.cfg.Seed, s.cfg.Workers, cap(s.sem))
+	if st, ok := s.cfg.Store.(*store.Store); ok {
+		fmt.Fprintf(&b, " cache=%s", st.Dir())
+	}
+	return b.String()
+}

@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/core"
+	"github.com/vcabench/vcabench/internal/report"
+	"github.com/vcabench/vcabench/internal/store"
+)
+
+// testSpec is a one-cell campaign, cheap enough for HTTP tests.
+const testSpec = `{"name": "svc", "platforms": ["zoom"]}`
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	if cfg.Scale.Name == "" {
+		cfg.Scale = core.TinyScale
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// submit POSTs a spec and returns the decoded status.
+func submit(t *testing.T, ts *httptest.Server, body string) jobStatus {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// poll waits for the job to finish and returns its terminal status.
+func poll(t *testing.T, ts *httptest.Server, id string) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == "done" || st.Status == "failed" {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("campaign did not finish in time")
+	return jobStatus{}
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// The acceptance criterion: the daemon returns the same bytes for a
+// spec as the direct CLI/library path at the same scale and seed.
+func TestServeResultMatchesDirectPath(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	st := submit(t, ts, `{"spec": `+testSpec+`}`)
+	if st.Status == "failed" {
+		t.Fatalf("submit failed: %s", st.Error)
+	}
+	if fin := poll(t, ts, st.ID); fin.Status != "done" || fin.Cells != 1 {
+		t.Fatalf("terminal status = %+v", fin)
+	}
+	code, body := get(t, ts, "/campaigns/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result status = %d: %s", code, body)
+	}
+
+	spec, err := core.ParseCampaign([]byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RunCampaign(core.NewTestbed(42), spec, core.TinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := report.WriteJSON(&direct, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, direct.Bytes()) {
+		t.Errorf("daemon result differs from direct path:\n--- daemon ---\n%s\n--- direct ---\n%s", body, direct.Bytes())
+	}
+
+	// Per-cell lookup serves the same cell the document holds.
+	code, cell := get(t, ts, "/cells/svc")
+	if code != http.StatusOK {
+		t.Fatalf("cell status = %d: %s", code, cell)
+	}
+	var got core.CellResult
+	if err := json.Unmarshal(cell, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != "svc" || got.Platform != "zoom" || got.PSNR == nil {
+		t.Errorf("cell lookup = %+v", got)
+	}
+}
+
+// Resubmitting a spec returns the existing job: same id, no recompute.
+func TestServeDedupesIdenticalSpecs(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	a := submit(t, ts, `{"spec": `+testSpec+`}`)
+	poll(t, ts, a.ID)
+	b := submit(t, ts, `{"spec": `+testSpec+`}`)
+	if a.ID != b.ID {
+		t.Errorf("identical specs got different ids: %s vs %s", a.ID, b.ID)
+	}
+	// Different seed or scale is a different job.
+	c := submit(t, ts, `{"spec": `+testSpec+`, "seed": 7}`)
+	if c.ID == a.ID {
+		t.Error("different seed shares a job id")
+	}
+	// And its cells are indexed under that seed, not over the default
+	// run's: the same unit key resolves per (scale, seed).
+	if fin := poll(t, ts, c.ID); fin.Status != "done" {
+		t.Fatalf("seed-7 job: %+v", fin)
+	}
+	_, def := get(t, ts, "/cells/svc")
+	_, alt := get(t, ts, "/cells/svc?seed=7")
+	if bytes.Equal(def, alt) {
+		t.Error("seed-7 cell shadowed or shadowed by the default-seed cell")
+	}
+	if code, _ := get(t, ts, "/cells/svc?seed=bogus"); code != http.StatusBadRequest {
+		t.Error("non-numeric seed accepted")
+	}
+}
+
+// A shared store makes the second distinct-but-overlapping submission
+// serve from cache.
+func TestServeSharedStoreAcrossJobs(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Config{Store: st})
+	a := submit(t, ts, `{"spec": `+testSpec+`}`)
+	if fin := poll(t, ts, a.ID); fin.Status != "done" {
+		t.Fatalf("first job: %+v", fin)
+	}
+	cold := st.Stats()
+	if cold.Puts == 0 {
+		t.Fatal("first job persisted nothing")
+	}
+	// Same spec, different seed → different job, same store; now rerun
+	// the identical spec under a different scale label? No — rerun the
+	// exact spec via a fresh server (a "restarted daemon") instead.
+	ts2 := newTestServer(t, Config{Store: st})
+	b := submit(t, ts2, `{"spec": `+testSpec+`}`)
+	if fin := poll(t, ts2, b.ID); fin.Status != "done" {
+		t.Fatalf("second job: %+v", fin)
+	}
+	warm := st.Stats()
+	if warm.Puts != cold.Puts {
+		t.Errorf("restarted daemon recomputed cells: %+v -> %+v", cold, warm)
+	}
+	if warm.Hits() == cold.Hits() {
+		t.Error("restarted daemon never consulted the store")
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+	}{
+		{"empty body", ``},
+		{"no spec", `{}`},
+		{"invalid spec", `{"spec": {"name": ""}}`},
+		{"unknown spec field", `{"spec": {"name": "x", "sizzes": [2]}}`},
+		{"unknown request field", `{"spec": {"name": "x"}, "sale": "tiny"}`},
+		{"bad scale", `{"spec": {"name": "x"}, "scale": "huge"}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+
+	if code, _ := get(t, ts, "/campaigns/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown campaign status = %d, want 404", code)
+	}
+	if code, _ := get(t, ts, "/campaigns/nope/result"); code != http.StatusNotFound {
+		t.Errorf("unknown result status = %d, want 404", code)
+	}
+	if code, _ := get(t, ts, "/cells/never/ran"); code != http.StatusNotFound {
+		t.Errorf("unknown cell status = %d, want 404", code)
+	}
+}
+
+func TestServeHealthz(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Config{Store: st})
+	code, body := get(t, ts, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	var h health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Store == nil {
+		t.Errorf("healthz = %+v, want ok with store stats", h)
+	}
+}
+
+// Bounded concurrency: MaxRuns=1 serializes executions but completes
+// them all.
+func TestServeBoundedConcurrency(t *testing.T) {
+	ts := newTestServer(t, Config{MaxRuns: 1})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st := submit(t, ts, fmt.Sprintf(`{"spec": %s, "seed": %d}`, testSpec, 100+i))
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		if fin := poll(t, ts, id); fin.Status != "done" {
+			t.Errorf("job %s: %+v", id, fin)
+		}
+	}
+}
+
+// Finished jobs beyond MaxJobs are evicted — result and cell index —
+// while newer jobs keep serving; shared cell keys survive as long as a
+// retained job references them.
+func TestServeEvictsOldFinishedJobs(t *testing.T) {
+	ts := newTestServer(t, Config{MaxJobs: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st := submit(t, ts, fmt.Sprintf(`{"spec": %s, "seed": %d}`, testSpec, 200+i))
+		if fin := poll(t, ts, st.ID); fin.Status != "done" {
+			t.Fatalf("job %d: %+v", i, fin)
+		}
+		ids = append(ids, st.ID)
+	}
+	if code, _ := get(t, ts, "/campaigns/"+ids[0]); code != http.StatusNotFound {
+		t.Errorf("oldest job should be evicted, got %d", code)
+	}
+	for _, id := range ids[1:] {
+		if code, _ := get(t, ts, "/campaigns/"+id+"/result"); code != http.StatusOK {
+			t.Errorf("retained job %s lost its result: %d", id, code)
+		}
+	}
+	// Retained jobs' cells stay served (scoped by their seed); the
+	// evicted job's cell is gone.
+	if code, _ := get(t, ts, "/cells/svc?seed=201"); code != http.StatusOK {
+		t.Errorf("retained job's cell not served: %d", code)
+	}
+	if code, _ := get(t, ts, "/cells/svc?seed=200"); code != http.StatusNotFound {
+		t.Errorf("evicted job's cell still served: %d", code)
+	}
+	// Resubmitting the evicted spec is accepted as a fresh job.
+	re := submit(t, ts, fmt.Sprintf(`{"spec": %s, "seed": 200}`, testSpec))
+	if re.ID != ids[0] {
+		t.Errorf("resubmission id = %s, want %s (content-derived)", re.ID, ids[0])
+	}
+	if fin := poll(t, ts, re.ID); fin.Status != "done" {
+		t.Errorf("resubmitted job: %+v", fin)
+	}
+}

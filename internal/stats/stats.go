@@ -7,6 +7,7 @@
 package stats
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -128,6 +129,39 @@ func (s *Sample) Quantile(q float64) float64 {
 
 // Median returns the 50th percentile.
 func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// GobEncode implements gob.GobEncoder. Observations are encoded as raw
+// IEEE-754 bit patterns in their insertion order: Mean sums in slice
+// order, so preserving both is what lets a decoded Sample reproduce
+// every summary statistic bit-for-bit (NaN and ±Inf included), which
+// the persistent result store's byte-identical warm reruns rely on.
+func (s *Sample) GobEncode() ([]byte, error) {
+	buf := make([]byte, 8*(len(s.xs)+1))
+	binary.LittleEndian.PutUint64(buf, uint64(len(s.xs)))
+	for i, x := range s.xs {
+		binary.LittleEndian.PutUint64(buf[8*(i+1):], math.Float64bits(x))
+	}
+	return buf, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Sample) GobDecode(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("stats: sample encoding truncated (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint64(data)
+	// Divide rather than multiply: 8*n can wrap for a crafted count,
+	// sneaking past the check and panicking in make below.
+	if n != uint64(len(data)-8)/8 || (len(data)-8)%8 != 0 {
+		return fmt.Errorf("stats: sample encoding claims %d observations in %d bytes", n, len(data))
+	}
+	s.xs = make([]float64, n)
+	for i := range s.xs {
+		s.xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*(i+1):]))
+	}
+	s.sorted = false
+	return nil
+}
 
 // Summary is a boxplot-style five-number summary plus mean and stddev.
 type Summary struct {

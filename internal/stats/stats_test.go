@@ -1,6 +1,9 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
 	"math"
 	"math/rand"
 	"sort"
@@ -270,5 +273,72 @@ func TestSummaryString(t *testing.T) {
 	s.AddAll([]float64{1, 2, 3})
 	if str := s.Summarize().String(); str == "" {
 		t.Error("empty String()")
+	}
+}
+
+// Gob round-trips must preserve insertion order and exact bit patterns:
+// Mean sums in slice order, so a reordered decode could change summary
+// statistics in the last ulp and break byte-identical warm reruns.
+func TestSampleGobRoundTrip(t *testing.T) {
+	s := NewSample(0)
+	for _, x := range []float64{3.5, -0.1, math.Inf(1), 1e-300, math.NaN(), 0.3, -0.0} {
+		s.Add(x)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	var back Sample
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("len = %d, want %d", back.Len(), s.Len())
+	}
+	for i := range s.xs {
+		if math.Float64bits(back.xs[i]) != math.Float64bits(s.xs[i]) {
+			t.Errorf("x[%d] = %x, want %x", i, math.Float64bits(back.xs[i]), math.Float64bits(s.xs[i]))
+		}
+	}
+	if back.sorted {
+		t.Error("decoded sample claims to be sorted")
+	}
+
+	var empty Sample
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&empty); err != nil {
+		t.Fatal(err)
+	}
+	var emptyBack Sample
+	if err := gob.NewDecoder(&buf).Decode(&emptyBack); err != nil {
+		t.Fatal(err)
+	}
+	if emptyBack.Len() != 0 {
+		t.Errorf("empty round-trip has %d observations", emptyBack.Len())
+	}
+}
+
+func TestSampleGobDecodeRejectsGarbage(t *testing.T) {
+	var s Sample
+	if err := s.GobDecode([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Claims 4 observations but carries none.
+	bad := make([]byte, 8)
+	bad[0] = 4
+	if err := s.GobDecode(bad); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// A crafted count where 8*n wraps to a small value must error, not
+	// panic in make (the persisted-store path feeds untrusted bytes
+	// here and treats errors as cache misses).
+	overflow := make([]byte, 16)
+	binary.LittleEndian.PutUint64(overflow, 0x2000000000000001)
+	if err := s.GobDecode(overflow); err == nil {
+		t.Error("overflowing observation count accepted")
+	}
+	// Trailing partial observation.
+	if err := s.GobDecode(make([]byte, 13)); err == nil {
+		t.Error("non-multiple-of-8 payload accepted")
 	}
 }

@@ -31,6 +31,7 @@
 package vcabench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -39,6 +40,7 @@ import (
 	"github.com/vcabench/vcabench/internal/media"
 	"github.com/vcabench/vcabench/internal/platform"
 	"github.com/vcabench/vcabench/internal/report"
+	"github.com/vcabench/vcabench/internal/store"
 )
 
 // Re-exported platform identities.
@@ -83,6 +85,14 @@ type (
 	CellResult = core.CellResult
 	// Metric summarizes one sample of a cell result.
 	Metric = core.Metric
+	// CellStore persists encoded campaign-unit results across
+	// processes (see Testbed.WithStore and OpenStore).
+	CellStore = core.CellStore
+	// Store is the on-disk CellStore implementation: content-addressed
+	// entries, atomic writes, corruption-tolerant reads, LRU front.
+	Store = store.Store
+	// StoreStats counts store hits, misses, puts and corrupt entries.
+	StoreStats = store.Stats
 )
 
 // Scales.
@@ -167,13 +177,51 @@ func Run(id string, seed int64, sc Scale, w io.Writer) error {
 // counts are rejected). Output is byte-identical at any worker count
 // for the same seed and scale.
 func RunParallel(id string, seed int64, sc Scale, workers int, w io.Writer) error {
-	if workers < 0 {
-		return fmt.Errorf("vcabench: worker count %d must be >= 1 (or 0 for the default)", workers)
+	return RunWithOpts(id, seed, sc, RunOpts{Workers: workers}, w)
+}
+
+// RunOpts tunes Run-by-ID execution beyond seed and scale.
+type RunOpts struct {
+	// Workers bounds the campaign worker pool (0 = one per CPU,
+	// 1 = serial; negative counts are rejected).
+	Workers int
+	// Store, when non-nil, persists campaign-unit results across
+	// processes: units found in the store are decoded instead of
+	// computed, and fresh units are written back. Cache temperature
+	// never changes rendered bytes, only wall-clock time.
+	Store CellStore
+}
+
+// ErrStore marks cell-persistence failures returned by RunWithOpts:
+// the experiment completed and its output was fully written, only
+// caching suffered. Callers may treat errors.Is(err, ErrStore) as a
+// warning rather than a failed run.
+var ErrStore = errors.New("vcabench: result store")
+
+// RunWithOpts executes one artifact by ID with explicit options.
+func RunWithOpts(id string, seed int64, sc Scale, opts RunOpts, w io.Writer) error {
+	if opts.Workers < 0 {
+		return fmt.Errorf("vcabench: worker count %d must be >= 1 (or 0 for the default)", opts.Workers)
 	}
 	e, ok := core.Lookup(id)
 	if !ok {
 		return fmt.Errorf("vcabench: unknown experiment %q (use List)", id)
 	}
-	e.Run(core.NewTestbed(seed).SetParallelism(workers), sc, w)
+	tb := core.NewTestbed(seed).SetParallelism(opts.Workers)
+	if opts.Store != nil {
+		tb.WithStore(opts.Store)
+	}
+	e.Run(tb, sc, w)
+	if err := tb.StoreErr(); err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
 	return nil
 }
+
+// OpenStore creates (or reopens) a persistent result store rooted at
+// dir, shareable between the CLI, the vcabenchd daemon and library
+// callers — across processes and concurrently.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// ScaleByName maps "tiny", "quick" or "paper" to its Scale.
+func ScaleByName(name string) (Scale, bool) { return core.ScaleByName(name) }

@@ -67,3 +67,33 @@ func TestDeterminism(t *testing.T) {
 		t.Errorf("same seed produced different output:\n%s\nvs\n%s", a, b)
 	}
 }
+
+// The persistent store through the public facade: a warm rerun from a
+// "fresh process" (new store handle, new testbed) renders identical
+// bytes while recomputing nothing.
+func TestRunWithStoreWarmRerun(t *testing.T) {
+	dir := t.TempDir()
+	render := func() (string, vcabench.StoreStats) {
+		st, err := vcabench.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := vcabench.RunWithOpts("fig3", 7, vcabench.TinyScale,
+			vcabench.RunOpts{Store: st}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String(), st.Stats()
+	}
+	cold, coldStats := render()
+	warm, warmStats := render()
+	if cold != warm {
+		t.Errorf("warm rerun differs:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+	if coldStats.Puts == 0 {
+		t.Error("cold run persisted nothing")
+	}
+	if warmStats.Misses != 0 || warmStats.Puts != 0 {
+		t.Errorf("warm run recomputed cells: %+v", warmStats)
+	}
+}
