@@ -6,6 +6,7 @@ package vcabench_test
 
 import (
 	"io"
+	"net/http/httptest"
 	"testing"
 
 	"github.com/vcabench/vcabench"
@@ -14,6 +15,7 @@ import (
 	"github.com/vcabench/vcabench/internal/media"
 	"github.com/vcabench/vcabench/internal/mobile"
 	"github.com/vcabench/vcabench/internal/platform"
+	"github.com/vcabench/vcabench/internal/serve"
 )
 
 // benchScale keeps the full suite affordable; pass -benchtime=1x to run
@@ -68,6 +70,30 @@ func BenchmarkFig12SweepWarm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := vcabench.RunWithOpts("fig12", 42, benchScale, vcabench.RunOpts{Store: st}, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Distributed counterpart to the Fig 12 sweep pairs above: the same
+// 30 cells sharded across two loopback vcabenchd workers through the
+// cluster pool. On one machine this mostly measures the dispatch
+// overhead (HTTP + gob round trips) against BenchmarkFig12SweepSerial
+// and Parallel4; across real machines the fleet adds their cores.
+// Bytes are identical in every variant.
+func BenchmarkFig12SweepDistributed(b *testing.B) {
+	w1 := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer w1.Close()
+	w2 := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer w2.Close()
+	pool, err := vcabench.NewPool([]string{w1.URL, w2.URL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		err := vcabench.RunWithOpts("fig12", 42, benchScale,
+			vcabench.RunOpts{Dispatcher: pool}, io.Discard)
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

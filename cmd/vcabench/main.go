@@ -7,10 +7,20 @@
 //	vcabench -run fig4 [-scale quick|paper|tiny] [-seed 42] [-parallel N] [-cache DIR]
 //	vcabench -run all
 //	vcabench -campaign spec.json [-json results.json] [-cache DIR]
+//	vcabench -campaign spec.json -workers http://a:8547,http://b:8547
 //
 // -parallel bounds the campaign worker pool (0 = one worker per CPU,
 // 1 = serial; negative counts are rejected). Output is byte-identical
 // at any worker count.
+//
+// -workers shards campaign cells across a fleet of vcabenchd daemons
+// (comma-separated base URLs): each cell's preferred worker derives
+// from its unit key, failures retry on other workers with backoff, and
+// cells the fleet cannot serve compute locally — so the output
+// (including -json) is byte-identical to a single-process run for any
+// fleet size or failure pattern. A summary line ("vcabench: cluster:
+// ...") goes to stderr. Works with -run and -campaign; lag figures
+// have no campaign cells and always run locally.
 //
 // -campaign runs the grid declared in the given JSON spec (see the
 // README for the format) and renders a per-cell table; -json
@@ -48,6 +58,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		parallel = flag.Int("parallel", 0, "campaign worker count (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir = flag.String("cache", "", "persist campaign-unit results in this directory")
+		workers  = flag.String("workers", "", "comma-separated vcabenchd base URLs to shard campaign cells across")
 	)
 	flag.Parse()
 
@@ -65,6 +76,11 @@ func main() {
 	}
 	if *cacheDir != "" && *run == "" && *campaign == "" {
 		fmt.Fprintln(os.Stderr, "vcabench: -cache requires -run or -campaign")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers != "" && *run == "" && *campaign == "" {
+		fmt.Fprintln(os.Stderr, "vcabench: -workers requires -run or -campaign")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -98,10 +114,16 @@ func main() {
 		defer reportCache(st)
 	}
 
+	pool := openPool(*workers)
+	if pool != nil {
+		defer reportCluster(pool)
+	}
+
 	if *campaign != "" {
-		if err := runCampaign(*campaign, *jsonOut, *seed, sc, *parallel, st); err != nil {
+		if err := runCampaign(*campaign, *jsonOut, *seed, sc, *parallel, st, pool); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			reportCache(st)
+			reportCluster(pool)
 			os.Exit(1)
 		}
 		return
@@ -119,6 +141,9 @@ func main() {
 		// A typed-nil *Store must not become a non-nil CellStore.
 		opts.Store = st
 	}
+	if pool != nil {
+		opts.Dispatcher = pool
+	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		fmt.Printf("=== %s (scale=%s, seed=%d) ===\n", id, sc.Name, *seed)
@@ -131,9 +156,49 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			reportCache(st)
+			reportCluster(pool)
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+}
+
+// openPool builds the worker fleet named by -workers, reporting
+// unreachable workers up front (they may still rejoin mid-campaign;
+// cells nobody serves run locally).
+func openPool(spec string) *vcabench.Pool {
+	if spec == "" {
+		return nil
+	}
+	var urls []string
+	for _, u := range strings.Split(spec, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	pool, err := vcabench.NewPool(urls)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcabench:", err)
+		os.Exit(2)
+	}
+	if healthy := pool.Healthy(); len(healthy) < len(urls) {
+		fmt.Fprintf(os.Stderr, "vcabench: warning: %d of %d workers reachable; unserved cells run locally\n",
+			len(healthy), len(urls))
+	}
+	return pool
+}
+
+// reportCluster prints where campaign cells actually ran; the CI smoke
+// test parses this line, so keep its shape stable.
+func reportCluster(pool *vcabench.Pool) {
+	if pool == nil {
+		return
+	}
+	s := pool.Stats()
+	fmt.Fprintf(os.Stderr, "vcabench: cluster: %d cells remote, %d failed attempts, %d local fallbacks\n",
+		s.Remote, s.Errors, s.Fallbacks)
+	for _, w := range s.Workers {
+		fmt.Fprintf(os.Stderr, "vcabench: cluster: %s: %d done, %d errors\n", w.URL, w.Done, w.Errs)
 	}
 }
 
@@ -150,7 +215,7 @@ func reportCache(st *vcabench.Store) {
 
 // runCampaign loads a spec file, runs the grid and writes the text
 // table to stdout plus, optionally, JSON results to jsonPath.
-func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, workers int, st *vcabench.Store) error {
+func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, workers int, st *vcabench.Store, pool *vcabench.Pool) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return fmt.Errorf("vcabench: %w", err)
@@ -162,6 +227,9 @@ func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, worke
 	tb := vcabench.NewTestbedParallel(seed, workers)
 	if st != nil {
 		tb.WithStore(st)
+	}
+	if pool != nil {
+		tb.WithDispatcher(pool)
 	}
 	res, err := vcabench.RunCampaign(tb, spec, sc)
 	if err != nil {

@@ -6,10 +6,18 @@
 // campaign shares one persistent cell store (also shareable with the
 // CLI), so overlapping grids from many clients recompute nothing.
 //
+// The daemon doubles as a distributed-execution worker: POST /units
+// runs a single campaign cell, which is how a `vcabench -workers ...`
+// coordinator (or any cluster.Pool) shards a campaign across a fleet
+// of vcabenchd processes. SIGINT/SIGTERM shut down gracefully: the
+// listener closes, in-flight requests and running campaigns drain
+// (bounded by -grace), then the process exits 0. A second signal kills
+// immediately.
+//
 // Usage:
 //
 //	vcabenchd [-addr :8547] [-scale quick] [-seed 42]
-//	          [-parallel N] [-runs M] [-cache DIR]
+//	          [-parallel N] [-runs M] [-cache DIR] [-grace 60s]
 //
 // Endpoints (see internal/serve for the full contract):
 //
@@ -17,6 +25,7 @@
 //	GET  /campaigns/{id}        poll job status
 //	GET  /campaigns/{id}/result fetch the result document
 //	GET  /cells/{key}           fetch one cell by canonical unit key
+//	POST /units                 run one campaign cell (worker endpoint)
 //	GET  /healthz               liveness + store statistics
 //
 // Example session:
@@ -29,11 +38,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/vcabench/vcabench/internal/core"
 	"github.com/vcabench/vcabench/internal/serve"
@@ -48,6 +62,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker pool per campaign (0 = GOMAXPROCS, 1 = serial)")
 		runs     = flag.Int("runs", 0, "concurrently executing campaigns (0 = NumCPU)")
 		cacheDir = flag.String("cache", "", "persist campaign-unit results in this directory")
+		grace    = flag.Duration("grace", time.Minute, "on SIGINT/SIGTERM, wait this long for in-flight work to drain")
 	)
 	flag.Parse()
 
@@ -71,8 +86,43 @@ func main() {
 		cfg.Store = st
 	}
 	srv := serve.New(cfg)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// First SIGINT/SIGTERM starts a graceful shutdown; stop() then
+	// restores default signal handling, so a second signal kills the
+	// process even if draining hangs. One grace budget, started at the
+	// signal, covers both in-flight HTTP requests and running jobs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	deadlineCh := make(chan time.Time, 1)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		stop()
+		log.Printf("vcabenchd: signal received, draining (up to %s; signal again to kill)", *grace)
+		deadlineCh <- time.Now().Add(*grace)
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(sctx)
+	}()
+
 	log.Printf("vcabenchd: listening on %s (%s)", *addr, srv.Describe())
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal("vcabenchd: ", err)
+	}
+	deadline := <-deadlineCh
+	// Wait for Shutdown itself before draining jobs: only then has
+	// every in-flight handler returned, so every accepted submission
+	// has registered the job DrainJobs must wait on.
+	if err := <-shutdownErr; err != nil {
+		log.Printf("vcabenchd: shutdown: %v", err)
+	}
+	drained := make(chan struct{})
+	go func() { srv.DrainJobs(); close(drained) }()
+	select {
+	case <-drained:
+		log.Printf("vcabenchd: drained, exiting")
+	case <-time.After(time.Until(deadline)):
+		log.Printf("vcabenchd: grace period expired with campaigns still running, exiting")
 	}
 }

@@ -1,0 +1,319 @@
+// Package cluster turns a fleet of vcabenchd processes into one
+// logical campaign scheduler. A Pool implements core.Dispatcher by
+// sharding campaign unit keys across workers over the daemon's
+// POST /units endpoint: each unit has a preferred worker derived from
+// its key (so reruns hit the same worker's warm store), in-flight
+// requests are bounded per worker, failures retry on the next worker
+// with exponential backoff, and a worker that errors enters a cooldown
+// during which it is skipped — it rejoins only after a successful
+// /healthz probe.
+//
+// The merge back into a CampaignResult happens in core's scheduler
+// seam (see internal/core/dispatch.go): the pool only moves the cell
+// store's canonical gob encoding over the wire. Because every cell's
+// seed derives from its unit key, placement cannot leak into results —
+// the merged document is byte-identical to a single-machine run for
+// any fleet size, worker mix or failure pattern, including total fleet
+// loss (units the pool gives up on compute locally).
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/vcabench/vcabench/internal/core"
+)
+
+// Defaults for the zero Options.
+const (
+	DefaultInFlight = 4
+	DefaultRetries  = 3
+	DefaultBackoff  = 100 * time.Millisecond
+	DefaultTimeout  = 5 * time.Minute
+	DefaultCooldown = 5 * time.Second
+)
+
+// Options tunes a Pool. The zero value selects the defaults above.
+type Options struct {
+	// InFlight bounds concurrent unit requests per worker; excess
+	// dispatches for a worker queue on its slots.
+	InFlight int
+	// Retries is how many additional attempts a failed unit gets on
+	// other (or recovered) workers before the pool hands it back for
+	// local execution. Zero selects DefaultRetries; negative disables
+	// retries entirely (fail over to local after the first error).
+	Retries int
+	// Backoff is the delay before the first retry, doubling per
+	// attempt.
+	Backoff time.Duration
+	// Timeout bounds one unit request end to end. Units run a full
+	// QoE session, so this is minutes, not seconds.
+	Timeout time.Duration
+	// Cooldown is how long a failed worker is skipped before a
+	// /healthz probe may readmit it.
+	Cooldown time.Duration
+	// Client overrides the HTTP client (tests); per-request timeouts
+	// are applied via contexts either way.
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.InFlight <= 0 {
+		o.InFlight = DefaultInFlight
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = DefaultRetries
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = DefaultBackoff
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = DefaultCooldown
+	}
+	return o
+}
+
+// errWorkerDown marks a dispatch that bailed out of a slot queue
+// because the worker was marked down while the unit waited; no request
+// was sent, so the worker is not re-penalized.
+var errWorkerDown = errors.New("worker down")
+
+// Pool is a worker fleet acting as one core.Dispatcher. Safe for
+// concurrent use; the scheduler dispatches every missing unit of a
+// campaign at once.
+type Pool struct {
+	workers []*worker
+	opt     Options
+	client  *http.Client
+
+	remote    atomic.Uint64 // units served by the fleet
+	errored   atomic.Uint64 // failed unit attempts (retried or given up)
+	fallbacks atomic.Uint64 // units handed back for local execution
+}
+
+// worker is one vcabenchd endpoint plus its health and traffic state.
+type worker struct {
+	url   string
+	slots chan struct{} // bounds in-flight unit requests
+
+	state atomic.Pointer[workerState]
+
+	done atomic.Uint64
+	errs atomic.Uint64
+}
+
+// workerState is the worker's health snapshot, swapped atomically.
+type workerState struct {
+	suspect   bool      // must pass a /healthz probe before reuse
+	downUntil time.Time // skipped entirely until then
+}
+
+// New builds a Pool over vcabenchd base URLs ("http://host:8547").
+func New(urls []string, opt Options) (*Pool, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("cluster: a pool needs at least one worker URL")
+	}
+	p := &Pool{opt: opt.withDefaults()}
+	p.client = p.opt.Client
+	if p.client == nil {
+		p.client = &http.Client{}
+	}
+	seen := make(map[string]bool, len(urls))
+	for _, raw := range urls {
+		u, err := url.Parse(raw)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("cluster: worker URL %q: want http(s)://host:port", raw)
+		}
+		base := strings.TrimRight(raw, "/")
+		if seen[base] {
+			return nil, fmt.Errorf("cluster: duplicate worker URL %q", base)
+		}
+		seen[base] = true
+		w := &worker{url: base, slots: make(chan struct{}, p.opt.InFlight)}
+		w.state.Store(&workerState{})
+		p.workers = append(p.workers, w)
+	}
+	return p, nil
+}
+
+// Workers returns the configured worker base URLs in order.
+func (p *Pool) Workers() []string {
+	out := make([]string, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = w.url
+	}
+	return out
+}
+
+// keyHash places a unit on its preferred worker. Placement is pure
+// optimization (store affinity plus load spread): results never depend
+// on it. FNV's low bits avalanche poorly — sibling campaign keys can
+// all share a parity, starving half a fleet — so the sum is finalized
+// murmur3-style before the "% len(workers)" fold.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// DispatchUnit implements core.Dispatcher: run one campaign cell on
+// the fleet, trying the key's preferred worker first and failing over
+// to the others with exponential backoff. An error means the caller
+// should compute the unit locally.
+func (p *Pool) DispatchUnit(req core.UnitRequest) ([]byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		p.fallbacks.Add(1)
+		return nil, fmt.Errorf("cluster: encode unit request: %w", err)
+	}
+	start := int(keyHash(req.Key) % uint64(len(p.workers)))
+	backoff := p.opt.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= p.opt.Retries; attempt++ {
+		w := p.pick(start + attempt)
+		if w == nil {
+			lastErr = fmt.Errorf("all %d workers down", len(p.workers))
+			break
+		}
+		data, err := p.runUnit(w, body)
+		if err == nil {
+			w.done.Add(1)
+			p.remote.Add(1)
+			return data, nil
+		}
+		lastErr = err
+		p.errored.Add(1)
+		if errors.Is(err, errWorkerDown) {
+			// Siblings already marked the worker down while this unit
+			// sat in its slot queue; move on without re-penalizing it
+			// or paying backoff — nothing was actually sent.
+			continue
+		}
+		w.errs.Add(1)
+		w.markDown(p.opt.Cooldown)
+		if attempt < p.opt.Retries {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	p.fallbacks.Add(1)
+	return nil, fmt.Errorf("cluster: unit %q: %w", req.Key, lastErr)
+}
+
+// pick scans the fleet from the given offset and returns the first
+// worker available to take a unit, or nil when every worker is in
+// cooldown or failed its readmission probe.
+func (p *Pool) pick(from int) *worker {
+	n := len(p.workers)
+	for i := 0; i < n; i++ {
+		w := p.workers[(from+i)%n]
+		if p.available(w) {
+			return w
+		}
+	}
+	return nil
+}
+
+// runUnit posts one unit to one worker under its in-flight bound and
+// returns the cell encoding.
+func (p *Pool) runUnit(w *worker, body []byte) ([]byte, error) {
+	w.slots <- struct{}{}
+	defer func() { <-w.slots }()
+
+	// The wait in the slot queue may have outlived the worker: a unit
+	// that committed to this worker while it was healthy must fail
+	// over immediately once siblings have marked it down, instead of
+	// burning a full request timeout on a known-dead endpoint.
+	if !p.available(w) {
+		return nil, fmt.Errorf("%s: %w while queued", w.url, errWorkerDown)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), p.opt.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/units", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.url, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%s: read cell: %w", w.url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", w.url, resp.Status, firstLine(data))
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%s: empty cell response", w.url)
+	}
+	return data, nil
+}
+
+// firstLine keeps error bodies readable in logs.
+func firstLine(data []byte) string {
+	s := strings.TrimSpace(string(data))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+// Stats counts pool traffic since New.
+type Stats struct {
+	// Remote is the number of units a worker served.
+	Remote uint64
+	// Errors is the number of failed unit attempts (each may have been
+	// retried elsewhere).
+	Errors uint64
+	// Fallbacks is the number of units the pool gave up on; core
+	// computed those locally.
+	Fallbacks uint64
+	// Workers breaks traffic down per worker, in configuration order.
+	Workers []WorkerStats
+}
+
+// WorkerStats is one worker's share of the pool traffic.
+type WorkerStats struct {
+	URL  string
+	Done uint64
+	Errs uint64
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() Stats {
+	st := Stats{
+		Remote:    p.remote.Load(),
+		Errors:    p.errored.Load(),
+		Fallbacks: p.fallbacks.Load(),
+	}
+	for _, w := range p.workers {
+		st.Workers = append(st.Workers, WorkerStats{URL: w.url, Done: w.done.Load(), Errs: w.errs.Load()})
+	}
+	return st
+}

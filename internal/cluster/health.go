@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file is the pool's health machinery. A worker that fails a unit
+// is marked down for a cooldown; once the cooldown passes it stays
+// suspect — skipped for units — until a GET /healthz probe succeeds.
+// Probes are cheap (the daemon answers from memory), so a flapping
+// worker costs the pool one probe per cooldown, not one lost unit.
+
+// probeTimeout bounds a /healthz round trip; a worker that cannot
+// answer a liveness check this fast should not be trusted with a
+// multi-minute unit.
+const probeTimeout = 2 * time.Second
+
+// markDown records a failure: skip the worker for the cooldown and
+// require a successful probe before readmission.
+func (w *worker) markDown(cooldown time.Duration) {
+	w.state.Store(&workerState{suspect: true, downUntil: time.Now().Add(cooldown)})
+}
+
+// available reports whether the worker may take a unit now, probing
+// its /healthz first when it is coming back from a failure cooldown.
+func (p *Pool) available(w *worker) bool {
+	st := w.state.Load()
+	if !st.suspect {
+		return true
+	}
+	if time.Now().Before(st.downUntil) {
+		return false
+	}
+	if err := p.probe(w); err != nil {
+		w.markDown(p.opt.Cooldown)
+		return false
+	}
+	// Readmit via CAS: a concurrent markDown (a unit failing while the
+	// probe was in flight) must win, or a flapping worker would have
+	// its fresh cooldown erased and keep soaking up dispatches.
+	return w.state.CompareAndSwap(st, &workerState{})
+}
+
+// probe checks one worker's /healthz.
+func (p *Pool) probe(w *worker) error {
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+// Healthy probes every worker concurrently and returns the base URLs
+// that answered /healthz, in configuration order. Callers use it for
+// startup diagnostics; the dispatch path keeps its own per-worker
+// health state and never requires the whole fleet to be up.
+func (p *Pool) Healthy() []string {
+	ok := make([]bool, len(p.workers))
+	var wg sync.WaitGroup
+	for i, w := range p.workers {
+		i, w := i, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok[i] = p.probe(w) == nil
+		}()
+	}
+	wg.Wait()
+	var out []string
+	for i, w := range p.workers {
+		if ok[i] {
+			out = append(out, w.url)
+		}
+	}
+	return out
+}

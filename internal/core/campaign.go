@@ -419,6 +419,17 @@ func audioSegment(on bool) string {
 	return "noaudio"
 }
 
+// salt scopes persisted cells to the full resolved spec: single-valued
+// axes never become key segments, so two same-named campaigns differing
+// only there share unit keys but must not share stored cells. Equal
+// resolved specs (fig12/fig14/fig15) produce equal salts and keep
+// sharing across processes — and across machines, since the worker
+// side of distributed execution (RunCampaignUnit) derives the same
+// salt from the shipped spec.
+func (rc *resolvedCampaign) salt() string {
+	return fingerprint(fmt.Sprintf("%+v", rc))
+}
+
 // cells expands the grid in canonical axis order. Expansion order only
 // affects scheduling and result ordering — never values, which depend
 // solely on each cell's key-derived seed.
@@ -617,14 +628,13 @@ func RunCampaign(tb *Testbed, spec Campaign, sc Scale) (*CampaignResult, error) 
 	for i, c := range cells {
 		keys[i] = c.key
 	}
-	// The store salt carries what unit keys omit: single-valued axes
-	// never become key segments, so two same-named campaigns differing
-	// only there share keys but must not share persisted cells. Equal
-	// resolved specs (fig12/fig14/fig15) produce equal salts and keep
-	// sharing across processes.
-	res := tb.runMemoized(sc, fingerprint(fmt.Sprintf("%+v", rc)), keys, func(stb *Testbed, i int) any {
+	// The remote tier (nil without a dispatcher) offers cells the memo
+	// and store don't hold to the worker fleet; unserved cells fall
+	// back to the local scheduler below, so fleet topology and failures
+	// never reach the merged result.
+	res := tb.runMemoized(sc, rc.salt(), keys, func(stb *Testbed, i int) any {
 		return runCell(stb, cells[i], sc)
-	})
+	}, tb.remoteRunner(spec, sc))
 	out := &CampaignResult{
 		Name:        spec.Name,
 		Description: spec.Description,

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+)
+
+// This file is the dispatch seam of the campaign engine — the
+// coordinator half of distributed execution. The paper's campaigns are
+// embarrassingly parallel (the authors fanned real measurements across
+// many client machines), and every cell's seed derives from its
+// canonical unit key, so a cell computes to the same bytes on any
+// machine. A Dispatcher (implemented by internal/cluster.Pool over
+// vcabenchd's POST /units endpoint) exploits that: runMemoized hands it
+// the units that neither the memo table nor the cell store holds, and
+// any unit the fleet cannot serve — a dead worker, a timeout, an
+// undecodable response — transparently falls back to local execution.
+// Placement can never leak into results: the merged CampaignResult is
+// byte-identical to a single-machine run for any fleet size, worker
+// mix or failure pattern.
+
+// UnitRequest identifies one campaign cell for out-of-process
+// execution: the declarative spec it belongs to, a preset scale name,
+// the campaign's base seed and the cell's canonical unit key. The
+// executing side derives everything else (the cell's coordinates, its
+// shard seed, its store key) exactly as a local run would.
+type UnitRequest struct {
+	Spec  Campaign `json:"spec"`
+	Scale string   `json:"scale"`
+	Seed  int64    `json:"seed"`
+	Key   string   `json:"key"`
+}
+
+// Dispatcher executes campaign units out of process. DispatchUnit
+// returns the cell's canonical encoding — the same bytes
+// RunCampaignUnit produces and the cell store persists. Any error is
+// treated as "compute locally", never as a failed campaign, so
+// implementations should exhaust their own retries first.
+// Implementations must be safe for concurrent use: the scheduler
+// dispatches every missing unit of a campaign at once.
+type Dispatcher interface {
+	DispatchUnit(req UnitRequest) ([]byte, error)
+}
+
+// WithDispatcher attaches a unit dispatcher and returns tb for
+// chaining. Dispatch applies only to campaign cells (RunCampaign and
+// the campaign-backed experiments); lag studies and ablation runs with
+// platform overrides always compute in-process. Fleet topology and
+// failures never change rendered bytes, only wall-clock time.
+func (tb *Testbed) WithDispatcher(d Dispatcher) *Testbed {
+	tb.dispatcher = d
+	return tb
+}
+
+// remoteRunner builds the remote-execution closure runMemoized fans
+// missing units through, or nil when this run must stay local: no
+// dispatcher attached; platform overrides in effect (ablations exist
+// only in this process, a remote worker would compute stock platforms);
+// or a tweaked scale that merely reuses a preset's name (a UnitRequest
+// carries scales by name, so shipping it would silently change the
+// workload).
+func (tb *Testbed) remoteRunner(spec Campaign, sc Scale) func(key string) (any, bool) {
+	if tb.dispatcher == nil || len(tb.overrides) > 0 {
+		return nil
+	}
+	if preset, ok := ScaleByName(sc.Name); !ok || preset != sc {
+		return nil
+	}
+	d := tb.dispatcher
+	seed := tb.seed
+	return func(key string) (any, bool) {
+		data, err := d.DispatchUnit(UnitRequest{Spec: spec, Scale: sc.Name, Seed: seed, Key: key})
+		if err != nil {
+			return nil, false
+		}
+		v, err := decodeCell(data)
+		if err != nil {
+			// A worker that returns undecodable bytes is as good as a
+			// dead one: recompute locally, never fail the campaign.
+			return nil, false
+		}
+		return v, true
+	}
+}
+
+// RunCampaignUnit executes exactly one cell of a campaign spec and
+// returns its canonical encoding — the worker half of distributed
+// execution, behind vcabenchd's POST /units endpoint. The cell runs on
+// a fork seeded from (tb seed, key) exactly as a local campaign run
+// would, so the returned bytes decode to the same value a
+// single-machine run computes. When tb carries a store, the cell is
+// looked up before computing and persisted after, sharing the worker's
+// cache with its own campaigns and with repeated unit requests.
+//
+// Pass a fresh Testbed per call: the memo table is deliberately not
+// consulted, because renderers sort memoized samples in place and a
+// post-render encoding would drift from what a cold run persists.
+func RunCampaignUnit(tb *Testbed, spec Campaign, sc Scale, key string) ([]byte, error) {
+	rc, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
+	cells := rc.cells()
+	var cell *campaignCell
+	for i := range cells {
+		if cells[i].key == key {
+			cell = &cells[i]
+			break
+		}
+	}
+	if cell == nil {
+		return nil, fmt.Errorf("core: campaign %q has no cell %q", rc.name, key)
+	}
+	salt := rc.salt()
+	if v, ok := tb.storeGet(sc, salt, key); ok {
+		// Gob encoding is deterministic, so re-encoding the decoded
+		// value reproduces the stored bytes exactly.
+		return encodeCell(v)
+	}
+	var v any = runCell(tb.Fork(key), *cell, sc)
+	data, err := encodeCell(v)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode cell %q: %w", key, err)
+	}
+	tb.storePut(sc, salt, key, v)
+	return data, nil
+}

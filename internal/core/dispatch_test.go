@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/vcabench/vcabench/internal/platform"
+	"github.com/vcabench/vcabench/internal/report"
+)
+
+// dispatchGrid is a small multi-cell campaign for seam tests.
+var dispatchGrid = Campaign{
+	Name:      "seam",
+	Platforms: []string{"zoom", "webex"},
+	Sizes:     []int{2, 3},
+}
+
+// workerDispatcher simulates a remote worker in-process: every unit
+// runs through RunCampaignUnit on a fresh testbed, exactly like
+// vcabenchd's POST /units handler.
+type workerDispatcher struct {
+	calls atomic.Int64
+	fail  func(key string) bool // nil = never
+}
+
+func (d *workerDispatcher) DispatchUnit(req UnitRequest) ([]byte, error) {
+	d.calls.Add(1)
+	if d.fail != nil && d.fail(req.Key) {
+		return nil, errors.New("injected worker failure")
+	}
+	sc, ok := ScaleByName(req.Scale)
+	if !ok {
+		return nil, errors.New("unknown scale " + req.Scale)
+	}
+	return RunCampaignUnit(NewTestbed(req.Seed), req.Spec, sc, req.Key)
+}
+
+func campaignJSON(t *testing.T, tb *Testbed, spec Campaign) []byte {
+	t.Helper()
+	res, err := RunCampaign(tb, spec, TinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Dispatched campaigns must merge to the bytes of a local run, with
+// every cell actually crossing the seam.
+func TestDispatchByteIdentical(t *testing.T) {
+	local := campaignJSON(t, NewTestbed(42), dispatchGrid)
+	d := &workerDispatcher{}
+	dist := campaignJSON(t, NewTestbed(42).WithDispatcher(d), dispatchGrid)
+	if !bytes.Equal(local, dist) {
+		t.Errorf("dispatched run differs:\n--- local ---\n%s\n--- dispatched ---\n%s", local, dist)
+	}
+	if got := d.calls.Load(); got != 4 {
+		t.Errorf("dispatcher saw %d units, want 4", got)
+	}
+}
+
+// Units the dispatcher fails on compute locally without changing the
+// merged bytes — the failover invariant at the seam level.
+func TestDispatchPartialFailureFallsBackLocally(t *testing.T) {
+	local := campaignJSON(t, NewTestbed(7), dispatchGrid)
+	d := &workerDispatcher{fail: func(key string) bool {
+		return key == "seam/zoom/2" || key == "seam/webex/3"
+	}}
+	dist := campaignJSON(t, NewTestbed(7).WithDispatcher(d), dispatchGrid)
+	if !bytes.Equal(local, dist) {
+		t.Errorf("partial failover changed bytes:\n--- local ---\n%s\n--- dispatched ---\n%s", local, dist)
+	}
+}
+
+// Garbage from a worker is a fallback, never a corrupted result.
+type garbageDispatcher struct{}
+
+func (garbageDispatcher) DispatchUnit(UnitRequest) ([]byte, error) {
+	return []byte("not a gob cell"), nil
+}
+
+func TestDispatchGarbageResponseFallsBackLocally(t *testing.T) {
+	local := campaignJSON(t, NewTestbed(3), dispatchGrid)
+	dist := campaignJSON(t, NewTestbed(3).WithDispatcher(garbageDispatcher{}), dispatchGrid)
+	if !bytes.Equal(local, dist) {
+		t.Error("garbage worker bytes leaked into the merged result")
+	}
+}
+
+// A tweaked scale that reuses a preset name must never ship to workers:
+// the request carries scales by name, so dispatching would silently
+// change the workload.
+func TestDispatchSkipsTweakedScale(t *testing.T) {
+	d := &workerDispatcher{}
+	tb := NewTestbed(5).WithDispatcher(d)
+	sc := TinyScale
+	sc.QoESessions++ // same name, different workload
+	if _, err := RunCampaign(tb, dispatchGrid, sc); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.calls.Load(); got != 0 {
+		t.Errorf("tweaked scale was dispatched %d times", got)
+	}
+}
+
+// Platform overrides exist only in this process (the ablation
+// mechanism); campaigns run under them must stay local — a remote
+// worker would compute stock platforms under the same unit keys.
+func TestDispatchSkipsOverriddenPlatforms(t *testing.T) {
+	d := &workerDispatcher{}
+	tb := NewTestbed(5).WithDispatcher(d)
+	cfg := platform.DefaultConfig(platform.Zoom)
+	cfg.P2PWhenPair = false
+	tb.OverridePlatform(cfg)
+	if _, err := RunCampaign(tb, dispatchGrid, TinyScale); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.calls.Load(); got != 0 {
+		t.Errorf("overridden-platform campaign was dispatched %d times", got)
+	}
+}
+
+// Memo and store tiers sit in front of the dispatcher: a rerun on the
+// same testbed dispatches nothing.
+func TestDispatchMemoShortCircuits(t *testing.T) {
+	d := &workerDispatcher{}
+	tb := NewTestbed(11).WithDispatcher(d)
+	campaignJSON(t, tb, dispatchGrid)
+	first := d.calls.Load()
+	campaignJSON(t, tb, dispatchGrid)
+	if got := d.calls.Load(); got != first {
+		t.Errorf("memoized rerun dispatched %d more units", got-first)
+	}
+}
+
+// RunCampaignUnit: the worker half must produce exactly the bytes the
+// coordinator's store tier would persist for the same cell.
+func TestRunCampaignUnitMatchesLocalStoreBytes(t *testing.T) {
+	st := &mapStore{m: make(map[string][]byte)}
+	tb := NewTestbed(42).WithStore(st).SetParallelism(1)
+	if _, err := RunCampaign(tb, dispatchGrid, TinyScale); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := dispatchGrid.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range rc.cells() {
+		want, ok := st.m[tb.cellKey(TinyScale, rc.salt(), cell.key)]
+		if !ok {
+			t.Fatalf("local run did not persist %q", cell.key)
+		}
+		got, err := RunCampaignUnit(NewTestbed(42), dispatchGrid, TinyScale, cell.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("unit %q: worker bytes differ from the local store encoding", cell.key)
+		}
+	}
+}
+
+// RunCampaignUnit consults and fills the worker's store.
+func TestRunCampaignUnitUsesStore(t *testing.T) {
+	st := &mapStore{m: make(map[string][]byte)}
+	key := "seam/zoom/2"
+	first, err := RunCampaignUnit(NewTestbed(42).WithStore(st), dispatchGrid, TinyScale, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.puts.Load() == 0 {
+		t.Fatal("unit run persisted nothing")
+	}
+	puts := st.puts.Load()
+	again, err := RunCampaignUnit(NewTestbed(42).WithStore(st), dispatchGrid, TinyScale, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.puts.Load() != puts {
+		t.Error("warm unit run recomputed and re-persisted")
+	}
+	if !bytes.Equal(first, again) {
+		t.Error("warm unit bytes differ from cold")
+	}
+}
+
+func TestRunCampaignUnitUnknownKey(t *testing.T) {
+	if _, err := RunCampaignUnit(NewTestbed(1), dispatchGrid, TinyScale, "seam/nope/9"); err == nil {
+		t.Error("unknown cell key accepted")
+	}
+	bad := Campaign{} // no name: resolve fails
+	if _, err := RunCampaignUnit(NewTestbed(1), bad, TinyScale, "x"); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// mapStore is an in-memory CellStore for seam tests.
+type mapStore struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	puts atomic.Int64
+}
+
+func (s *mapStore) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+func (s *mapStore) Put(key string, data []byte) error {
+	s.puts.Add(1)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = cp
+	return nil
+}

@@ -53,7 +53,7 @@ func lagKey(sce LagScenario, kind platform.Kind) string {
 func lagStudy(tb *Testbed, sc Scale, sce LagScenario, kind platform.Kind) *LagStudyResult {
 	res := tb.runMemoized(sc, "", []string{lagKey(sce, kind)}, func(stb *Testbed, _ int) any {
 		return RunLagStudy(stb, kind, sce.Host, sce.Fleet, sc)
-	})
+	}, nil)
 	return res[0].(*LagStudyResult)
 }
 
@@ -66,7 +66,7 @@ func lagStudyAll(tb *Testbed, sc Scale, sce LagScenario) map[platform.Kind]*LagS
 	}
 	res := tb.runMemoized(sc, "", keys, func(stb *Testbed, i int) any {
 		return RunLagStudy(stb, platform.Kinds[i], sce.Host, sce.Fleet, sc)
-	})
+	}, nil)
 	out := make(map[platform.Kind]*LagStudyResult, len(res))
 	for i, k := range platform.Kinds {
 		out[k] = res[i].(*LagStudyResult)

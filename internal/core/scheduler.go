@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -149,7 +150,13 @@ func (s *Scheduler) Run(units []Unit) {
 // and freshly computed units are persisted — so the sharing extends
 // across processes. sc and salt scope the persisted keys (see cellKey);
 // they never influence in-memory behaviour.
-func (tb *Testbed) runMemoized(sc Scale, salt string, keys []string, run func(stb *Testbed, i int) any) []any {
+//
+// remote, when non-nil, is a third tier between the store and local
+// compute (see dispatch.go): every still-missing unit is offered to the
+// worker fleet concurrently, and only the units the fleet cannot serve
+// reach the local scheduler — so a dead or shrinking fleet degrades to
+// plain local execution, never to a failed or divergent campaign.
+func (tb *Testbed) runMemoized(sc Scale, salt string, keys []string, run func(stb *Testbed, i int) any, remote func(key string) (any, bool)) []any {
 	out := make([]any, len(keys))
 	var missing []int
 	for i, k := range keys {
@@ -163,6 +170,9 @@ func (tb *Testbed) runMemoized(sc Scale, salt string, keys []string, run func(st
 			continue
 		}
 		missing = append(missing, i)
+	}
+	if remote != nil && len(missing) > 0 {
+		missing = tb.dispatchRemote(sc, salt, keys, out, missing, remote)
 	}
 	if len(missing) == 0 {
 		return out
@@ -183,4 +193,46 @@ func (tb *Testbed) runMemoized(sc Scale, salt string, keys []string, run func(st
 		tb.storePut(sc, salt, keys[i], out[i])
 	}
 	return out
+}
+
+// dispatchRemote fans the missing units across the dispatcher, all at
+// once — the fleet bounds its own per-worker concurrency — filling
+// out[i] for each unit a worker served. Served units are memoized and
+// persisted exactly like locally computed ones (re-encoding a decoded
+// gob value reproduces the worker's bytes, so the coordinator's store
+// matches a single-machine run's). It returns the indices the caller
+// must compute locally, in input order.
+func (tb *Testbed) dispatchRemote(sc Scale, salt string, keys []string, out []any, missing []int, remote func(key string) (any, bool)) []int {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		local []int
+	)
+	for _, i := range missing {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, ok := remote(keys[i]); ok {
+				out[i] = v
+				return
+			}
+			mu.Lock()
+			local = append(local, i)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sort.Ints(local)
+	fellBack := make(map[int]bool, len(local))
+	for _, i := range local {
+		fellBack[i] = true
+	}
+	for _, i := range missing {
+		if !fellBack[i] {
+			tb.memoPut(keys[i], out[i])
+			tb.storePut(sc, salt, keys[i], out[i])
+		}
+	}
+	return local
 }

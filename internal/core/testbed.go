@@ -52,6 +52,11 @@ type Testbed struct {
 	// (guarded by memoMu). See cellstore.go.
 	store    CellStore
 	storeErr error
+
+	// dispatcher, when set via WithDispatcher, offloads campaign cells
+	// to a worker fleet; nil means every unit computes in-process. See
+	// dispatch.go.
+	dispatcher Dispatcher
 }
 
 // registerCampaign records (or re-checks) the fingerprint of a named

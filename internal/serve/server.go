@@ -19,6 +19,19 @@
 //	                             ?scale= and ?seed= select others. Within
 //	                             one (scale, seed), campaigns sharing keys
 //	                             (fig12/fig14) agree on cell contents.
+//	                             Misses fall back to the persistent store,
+//	                             so cells survive daemon restarts and job
+//	                             eviction.
+//	POST /units                {"spec": {...}, "scale": "tiny", "seed": 42,
+//	                            "key": "grid/zoom"} → the cell's canonical
+//	                             gob encoding (application/octet-stream).
+//	                             This is the worker half of distributed
+//	                             execution: a cluster.Pool coordinator
+//	                             shards a campaign's unit keys across a
+//	                             fleet of these endpoints (see
+//	                             internal/cluster), and the worker's
+//	                             persistent store makes repeated cells
+//	                             free.
 //	GET  /healthz              → liveness plus store statistics
 //
 // Campaign IDs are content-derived — SHA-256 over (resolved spec, scale,
@@ -91,6 +104,15 @@ func cellIndexKey(scaleName string, seed int64, unitKey string) string {
 	return fmt.Sprintf("%s/%d/%s", scaleName, seed, unitKey)
 }
 
+// cellStoreKey names a rendered cell-JSON document in the persistent
+// store, so /cells lookups survive daemon restarts and MaxJobs
+// eviction. The "servecell" prefix keeps these documents disjoint from
+// core's gob-encoded cells ("v<N>/seed..."); the version is this JSON
+// framing's, bumped if the rendered cell shape ever changes.
+func cellStoreKey(scaleName string, seed int64, unitKey string) string {
+	return fmt.Sprintf("servecell/v1/%s/%d/%s", scaleName, seed, unitKey)
+}
+
 // job is one submitted campaign execution.
 type job struct {
 	id        string
@@ -138,6 +160,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /cells/{key...}", s.handleCell)
+	mux.HandleFunc("POST /units", s.handleUnit)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -176,6 +199,32 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	report.WriteJSON(w, v)
 }
 
+// resolveSubmission applies the daemon defaults to a request's raw
+// spec, scale name and optional seed — shared by the campaign and unit
+// endpoints so the two halves of the API cannot drift. Errors map to
+// 400.
+func (s *Server) resolveSubmission(rawSpec json.RawMessage, scaleName string, seed *int64) (core.Campaign, core.Scale, int64, error) {
+	if len(rawSpec) == 0 {
+		return core.Campaign{}, core.Scale{}, 0, fmt.Errorf("request needs a \"spec\" field holding a campaign")
+	}
+	spec, err := core.ParseCampaign(rawSpec)
+	if err != nil {
+		return core.Campaign{}, core.Scale{}, 0, err
+	}
+	sc := s.cfg.Scale
+	if scaleName != "" {
+		var ok bool
+		if sc, ok = core.ScaleByName(scaleName); !ok {
+			return core.Campaign{}, core.Scale{}, 0, fmt.Errorf("unknown scale %q (want tiny, quick or paper)", scaleName)
+		}
+	}
+	sd := s.cfg.Seed
+	if seed != nil {
+		sd = *seed
+	}
+	return spec, sc, sd, nil
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
 	dec := json.NewDecoder(r.Body)
@@ -184,26 +233,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if len(req.Spec) == 0 {
-		httpError(w, http.StatusBadRequest, "request needs a \"spec\" field holding a campaign")
-		return
-	}
-	spec, err := core.ParseCampaign(req.Spec)
+	spec, sc, seed, err := s.resolveSubmission(req.Spec, req.Scale, req.Seed)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
-	}
-	sc := s.cfg.Scale
-	if req.Scale != "" {
-		var ok bool
-		if sc, ok = core.ScaleByName(req.Scale); !ok {
-			httpError(w, http.StatusBadRequest, "unknown scale %q (want tiny, quick or paper)", req.Scale)
-			return
-		}
-	}
-	seed := s.cfg.Seed
-	if req.Seed != nil {
-		seed = *req.Seed
 	}
 
 	id := campaignID(spec, sc.Name, seed)
@@ -283,19 +316,45 @@ func (s *Server) run(j *job, sc core.Scale) {
 		return
 	}
 
-	s.mu.Lock()
-	j.status = "done"
-	j.result = buf.Bytes()
-	j.cells = len(res.Cells)
+	type cellDoc struct {
+		unitKey string
+		data    []byte
+	}
+	var docs []cellDoc
 	for i := range res.Cells {
 		c := &res.Cells[i]
 		var cb bytes.Buffer
 		if report.WriteJSON(&cb, c) == nil {
-			ck := cellIndexKey(j.scaleName, j.seed, c.Key)
-			s.cells[ck] = cb.Bytes()
-			s.cellRefs[ck]++
-			j.cellKeys = append(j.cellKeys, ck)
+			docs = append(docs, cellDoc{unitKey: c.Key, data: cb.Bytes()})
 		}
+	}
+	// Persist the rendered cells before the job turns "done": once a
+	// poller sees the terminal status, every cell must be servable —
+	// from memory while the job is retained, from the store after a
+	// restart or eviction. Deterministic cells make the write
+	// idempotent, so an already-present document (a warm rerun, or a
+	// sibling campaign sharing the key) is left alone — the Get costs
+	// a small read (absorbed by the store's LRU) but preserves the
+	// invariant that warm reruns perform zero Puts; failed Puts only
+	// narrow the fallback.
+	if s.cfg.Store != nil {
+		for _, d := range docs {
+			key := cellStoreKey(j.scaleName, j.seed, d.unitKey)
+			if _, ok := s.cfg.Store.Get(key); !ok {
+				s.cfg.Store.Put(key, d.data)
+			}
+		}
+	}
+
+	s.mu.Lock()
+	j.status = "done"
+	j.result = buf.Bytes()
+	j.cells = len(res.Cells)
+	for _, d := range docs {
+		ck := cellIndexKey(j.scaleName, j.seed, d.unitKey)
+		s.cells[ck] = d.data
+		s.cellRefs[ck]++
+		j.cellKeys = append(j.cellKeys, ck)
 	}
 	s.finish(j)
 	s.mu.Unlock()
@@ -389,6 +448,12 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	data, ok := s.cells[cellIndexKey(scaleName, seed, key)]
 	s.mu.Unlock()
+	if !ok && s.cfg.Store != nil {
+		// The in-memory index only spans retained jobs; the store holds
+		// every cell this daemon (or a predecessor sharing the cache
+		// directory) ever finished.
+		data, ok = s.cfg.Store.Get(cellStoreKey(scaleName, seed, key))
+	}
 	if !ok {
 		httpError(w, http.StatusNotFound,
 			"no completed cell %q at scale=%s seed=%d (cells appear once their campaign finishes; ?scale=/?seed= select non-default runs)",
@@ -397,6 +462,91 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// unitRequest is the POST /units body: one campaign cell to execute on
+// behalf of a distributed-campaign coordinator. Spec stays raw so the
+// campaign parser's strict decoding applies verbatim.
+type unitRequest struct {
+	Spec  json.RawMessage `json:"spec"`
+	Scale string          `json:"scale,omitempty"`
+	Seed  *int64          `json:"seed,omitempty"`
+	Key   string          `json:"key"`
+}
+
+// handleUnit runs one campaign cell through the engine and returns its
+// canonical gob encoding. Unit executions share the campaign
+// semaphore, so a fleet coordinator cannot oversubscribe a worker that
+// is also serving whole campaigns; the per-request testbed shares the
+// persistent store, so repeated cells (any coordinator, any campaign,
+// this daemon's own jobs) cost one disk read.
+func (s *Server) handleUnit(w http.ResponseWriter, r *http.Request) {
+	var req unitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Key == "" {
+		httpError(w, http.StatusBadRequest, "request needs a \"key\" field naming a cell")
+		return
+	}
+	spec, sc, seed, err := s.resolveSubmission(req.Spec, req.Scale, req.Seed)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Respect the coordinator's patience: a pool whose request timeout
+	// expires closes the connection and fails the unit over, so a
+	// handler still queued on the semaphore (or about to compute) must
+	// not burn a slot on a multi-minute cell nobody will read.
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		httpError(w, http.StatusServiceUnavailable, "client went away while queued")
+		return
+	}
+	defer func() { <-s.sem }()
+	if r.Context().Err() != nil {
+		httpError(w, http.StatusServiceUnavailable, "client went away while queued")
+		return
+	}
+
+	data, err := s.runUnit(spec, sc, seed, req.Key)
+	if err != nil {
+		code := http.StatusBadRequest
+		if _, panicked := err.(unitPanicError); panicked {
+			code = http.StatusInternalServerError
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// unitPanicError marks engine panics, which map to 500 rather than the
+// 400 a bad spec or unknown key earns.
+type unitPanicError struct{ msg string }
+
+func (e unitPanicError) Error() string { return e.msg }
+
+// runUnit executes one cell on a fresh testbed, converting engine
+// panics into errors so a pathological unit cannot take down the
+// daemon (the coordinator computes such a unit locally instead).
+func (s *Server) runUnit(spec core.Campaign, sc core.Scale, seed int64, key string) (data []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = unitPanicError{msg: fmt.Sprintf("unit panicked: %v", r)}
+		}
+	}()
+	tb := core.NewTestbed(seed)
+	if s.cfg.Store != nil {
+		tb.WithStore(s.cfg.Store)
+	}
+	return core.RunCampaignUnit(tb, spec, sc, key)
 }
 
 // health is the GET /healthz document.
@@ -439,6 +589,24 @@ func (s *Server) Wait(id string) bool {
 	}
 	<-j.done
 	return true
+}
+
+// DrainJobs blocks until every submitted campaign has reached a
+// terminal state — the shutdown path of cmd/vcabenchd: stop the
+// listener first (no new submissions), then drain, so an operator's
+// SIGTERM never kills a client's campaign mid-run. Unit executions
+// (POST /units) drain with the HTTP server itself, since their
+// responses are synchronous.
+func (s *Server) DrainJobs() {
+	s.mu.Lock()
+	pending := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		pending = append(pending, j)
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		<-j.done
+	}
 }
 
 // Describe summarizes the server configuration for startup logs.

@@ -248,6 +248,223 @@ func TestServeHealthz(t *testing.T) {
 	}
 }
 
+// POST /units is the distributed-execution worker endpoint: it must
+// return exactly the canonical cell encoding core produces for the
+// same (spec, scale, seed, key).
+func TestServeUnitEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	post := func(body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/units", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	code, got := post(`{"spec": ` + testSpec + `, "scale": "tiny", "seed": 42, "key": "svc"}`)
+	if code != http.StatusOK {
+		t.Fatalf("unit status = %d: %s", code, got)
+	}
+	spec, err := core.ParseCampaign([]byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.RunCampaignUnit(core.NewTestbed(42), spec, core.TinyScale, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("unit endpoint bytes differ from core.RunCampaignUnit")
+	}
+
+	// Omitted scale and seed fall back to the server defaults (tiny/42
+	// in this harness), so the bytes must match too.
+	if _, def := post(`{"spec": ` + testSpec + `, "key": "svc"}`); !bytes.Equal(def, want) {
+		t.Error("defaulted unit differs from explicit scale/seed")
+	}
+
+	for name, body := range map[string]string{
+		"empty body":    ``,
+		"no spec":       `{"key": "svc"}`,
+		"no key":        `{"spec": ` + testSpec + `}`,
+		"unknown key":   `{"spec": ` + testSpec + `, "key": "svc/nope"}`,
+		"bad scale":     `{"spec": ` + testSpec + `, "key": "svc", "scale": "huge"}`,
+		"invalid spec":  `{"spec": {"name": ""}, "key": "svc"}`,
+		"unknown field": `{"spec": ` + testSpec + `, "key": "svc", "kee": 1}`,
+	} {
+		if code, body := post(body); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", name, code, body)
+		}
+	}
+}
+
+// Units share the worker's persistent store: a repeated unit costs a
+// store read, not a recompute, and a cell computed by a daemon
+// campaign is free for unit requests (and vice versa).
+func TestServeUnitSharesStore(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Config{Store: st})
+	body := `{"spec": ` + testSpec + `, "scale": "tiny", "seed": 42, "key": "svc"}`
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/units", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("unit %d: status %d", i, resp.StatusCode)
+		}
+	}
+	s := st.Stats()
+	if s.Puts != 1 {
+		t.Errorf("two identical units persisted %d cells, want 1 (second served warm)", s.Puts)
+	}
+	if s.Hits() == 0 {
+		t.Error("repeated unit never consulted the store")
+	}
+}
+
+// Satellite: /cells falls back to the persistent store, so cells
+// survive a daemon restart (fresh Server, same store directory).
+func TestServeCellStoreFallbackAcrossRestart(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Config{Store: st})
+	a := submit(t, ts, `{"spec": `+testSpec+`}`)
+	if fin := poll(t, ts, a.ID); fin.Status != "done" {
+		t.Fatalf("job: %+v", fin)
+	}
+	_, want := get(t, ts, "/cells/svc")
+
+	// "Restart": a fresh daemon over the same store has no in-memory
+	// index, but the cell must still be served — byte-identically.
+	ts2 := newTestServer(t, Config{Store: st})
+	code, got := get(t, ts2, "/cells/svc")
+	if code != http.StatusOK {
+		t.Fatalf("restarted daemon lost the cell: %d (%s)", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("store-fallback cell differs from the indexed one")
+	}
+	// Wrong seed still misses.
+	if code, _ := get(t, ts2, "/cells/svc?seed=999"); code != http.StatusNotFound {
+		t.Errorf("unknown seed served from fallback: %d", code)
+	}
+}
+
+// Satellite: /cells survives MaxJobs eviction when a store is
+// attached — the index entry is gone but the store still serves it.
+func TestServeCellStoreFallbackAfterEviction(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Config{Store: st, MaxJobs: 1})
+	for i := 0; i < 2; i++ {
+		job := submit(t, ts, fmt.Sprintf(`{"spec": %s, "seed": %d}`, testSpec, 300+i))
+		if fin := poll(t, ts, job.ID); fin.Status != "done" {
+			t.Fatalf("job %d: %+v", i, fin)
+		}
+	}
+	// Job seed=300 is evicted from memory; its cell comes off disk.
+	if code, _ := get(t, ts, "/cells/svc?seed=300"); code != http.StatusOK {
+		t.Errorf("evicted job's cell not served from the store: %d", code)
+	}
+}
+
+// Satellite: finish() refcounting. Two jobs share a cell key (same
+// spec modulo description — descriptions change the job id but not
+// unit keys or cell bytes); evicting one must keep the shared cell
+// served and must not leak refcount entries.
+func TestServeFinishEvictionRefcounting(t *testing.T) {
+	srv := New(Config{Scale: core.TinyScale, Seed: 42, MaxJobs: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	a := submit(t, ts, `{"spec": `+testSpec+`}`)
+	b := submit(t, ts, `{"spec": {"name": "svc", "platforms": ["zoom"], "description": "twin"}}`)
+	if a.ID == b.ID {
+		t.Fatal("description should produce a distinct job id")
+	}
+	poll(t, ts, a.ID)
+	poll(t, ts, b.ID)
+
+	srv.mu.Lock()
+	if got := srv.cellRefs[cellIndexKey("tiny", 42, "svc")]; got != 2 {
+		t.Errorf("shared cell refcount = %d, want 2", got)
+	}
+	srv.mu.Unlock()
+
+	// A third job (distinct seed) evicts job a; the shared cell must
+	// survive with refcount 1.
+	c := submit(t, ts, `{"spec": `+testSpec+`, "seed": 7}`)
+	poll(t, ts, c.ID)
+	if code, _ := get(t, ts, "/campaigns/"+a.ID); code != http.StatusNotFound {
+		t.Fatalf("oldest job not evicted: %d", code)
+	}
+	if code, _ := get(t, ts, "/cells/svc"); code != http.StatusOK {
+		t.Error("cell shared with a retained job was dropped on eviction")
+	}
+	srv.mu.Lock()
+	if got := srv.cellRefs[cellIndexKey("tiny", 42, "svc")]; got != 1 {
+		t.Errorf("refcount after evicting one sharer = %d, want 1", got)
+	}
+	srv.mu.Unlock()
+
+	// Evict the remaining sharer too: the cell and its refcount entry
+	// must both disappear — a leaked entry here grows forever in a
+	// long-lived daemon.
+	d := submit(t, ts, `{"spec": `+testSpec+`, "seed": 8}`)
+	poll(t, ts, d.ID)
+	if code, _ := get(t, ts, "/cells/svc"); code != http.StatusNotFound {
+		t.Error("cell with no retaining jobs still served")
+	}
+	srv.mu.Lock()
+	if n := len(srv.cellRefs); n != len(srv.cells) {
+		t.Errorf("cellRefs has %d entries, cells has %d — refcount map leaking", n, len(srv.cells))
+	}
+	for ck, n := range srv.cellRefs {
+		if n <= 0 {
+			t.Errorf("leaked zero refcount for %q", ck)
+		}
+	}
+	if _, ok := srv.cellRefs[cellIndexKey("tiny", 42, "svc")]; ok {
+		t.Error("evicted cell's refcount entry leaked")
+	}
+	srv.mu.Unlock()
+}
+
+// DrainJobs returns only after every submitted campaign is terminal.
+func TestServeDrainJobs(t *testing.T) {
+	srv := New(Config{Scale: core.TinyScale, Seed: 42})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, submit(t, ts, fmt.Sprintf(`{"spec": %s, "seed": %d}`, testSpec, 400+i)).ID)
+	}
+	srv.DrainJobs()
+	for _, id := range ids {
+		srv.mu.Lock()
+		status := srv.jobs[id].status
+		srv.mu.Unlock()
+		if status != "done" && status != "failed" {
+			t.Errorf("job %s still %q after DrainJobs", id, status)
+		}
+	}
+}
+
 // Bounded concurrency: MaxRuns=1 serializes executions but completes
 // them all.
 func TestServeBoundedConcurrency(t *testing.T) {

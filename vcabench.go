@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/vcabench/vcabench/internal/cluster"
 	"github.com/vcabench/vcabench/internal/core"
 	"github.com/vcabench/vcabench/internal/geo"
 	"github.com/vcabench/vcabench/internal/media"
@@ -93,6 +94,19 @@ type (
 	Store = store.Store
 	// StoreStats counts store hits, misses, puts and corrupt entries.
 	StoreStats = store.Stats
+	// Dispatcher executes campaign cells out of process (see NewPool
+	// and Testbed.WithDispatcher).
+	Dispatcher = core.Dispatcher
+	// UnitRequest identifies one campaign cell for remote execution.
+	UnitRequest = core.UnitRequest
+	// Pool is a fleet of vcabenchd workers acting as one Dispatcher:
+	// key-affine sharding, bounded in-flight requests per worker,
+	// health probing, retry with backoff, failover to local execution.
+	Pool = cluster.Pool
+	// PoolOptions tunes a Pool; the zero value selects the defaults.
+	PoolOptions = cluster.Options
+	// PoolStats counts pool traffic (remote units, errors, fallbacks).
+	PoolStats = cluster.Stats
 )
 
 // Scales.
@@ -158,6 +172,36 @@ func ParseCampaign(data []byte) (Campaign, error) {
 	return core.ParseCampaign(data)
 }
 
+// NewPool builds a worker-fleet dispatcher over vcabenchd base URLs
+// (e.g. "http://host:8547") with default options; see NewPoolOptions
+// to tune in-flight bounds, retries and timeouts. The pool shards
+// campaign cells across the fleet by unit key, probes worker health,
+// retries failures with backoff, and hands unserved cells back for
+// local execution — so results are byte-identical to a purely local
+// run for any fleet size, worker mix or failure pattern.
+func NewPool(workers []string) (*Pool, error) {
+	return cluster.New(workers, cluster.Options{})
+}
+
+// NewPoolOptions is NewPool with explicit tuning.
+func NewPoolOptions(workers []string, o PoolOptions) (*Pool, error) {
+	return cluster.New(workers, o)
+}
+
+// RunDistributed is RunCampaign with the campaign's cells sharded
+// across a worker fleet (see NewPool). The merged result — including
+// its JSON encoding — is byte-identical to RunCampaign on the same
+// testbed seed, scale and spec; distribution only changes wall-clock
+// time. Cells already held by tb's memo or store are never dispatched,
+// and cells the fleet cannot serve compute locally.
+func RunDistributed(tb *Testbed, spec Campaign, sc Scale, p *Pool) (*CampaignResult, error) {
+	if p == nil {
+		return nil, errors.New("vcabench: RunDistributed needs a pool (use RunCampaign for local execution)")
+	}
+	tb.WithDispatcher(p)
+	return core.RunCampaign(tb, spec, sc)
+}
+
 // WriteJSON renders any result value (e.g. a *CampaignResult) as
 // indented JSON followed by a newline.
 func WriteJSON(w io.Writer, v any) error { return report.WriteJSON(w, v) }
@@ -190,6 +234,12 @@ type RunOpts struct {
 	// computed, and fresh units are written back. Cache temperature
 	// never changes rendered bytes, only wall-clock time.
 	Store CellStore
+	// Dispatcher, when non-nil, shards campaign cells across a worker
+	// fleet (see NewPool). Cells the fleet cannot serve run locally;
+	// rendered bytes are identical to a purely local run either way.
+	// Experiments that are not campaign-backed (the lag figures)
+	// ignore it.
+	Dispatcher Dispatcher
 }
 
 // ErrStore marks cell-persistence failures returned by RunWithOpts:
@@ -210,6 +260,9 @@ func RunWithOpts(id string, seed int64, sc Scale, opts RunOpts, w io.Writer) err
 	tb := core.NewTestbed(seed).SetParallelism(opts.Workers)
 	if opts.Store != nil {
 		tb.WithStore(opts.Store)
+	}
+	if opts.Dispatcher != nil {
+		tb.WithDispatcher(opts.Dispatcher)
 	}
 	e.Run(tb, sc, w)
 	if err := tb.StoreErr(); err != nil {

@@ -1,10 +1,13 @@
 package vcabench_test
 
 import (
+	"bytes"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"github.com/vcabench/vcabench"
+	"github.com/vcabench/vcabench/internal/serve"
 )
 
 func TestPublicAPIEndToEnd(t *testing.T) {
@@ -65,6 +68,65 @@ func TestDeterminism(t *testing.T) {
 	a, b := run(), run()
 	if a != b {
 		t.Errorf("same seed produced different output:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// Distributed execution through the public facade: a campaign sharded
+// across two loopback vcabenchd workers merges to the bytes of a local
+// run, and the experiment-by-ID path accepts the same pool.
+func TestRunDistributedFacade(t *testing.T) {
+	w1 := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	t.Cleanup(w1.Close)
+	w2 := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	t.Cleanup(w2.Close)
+	pool, err := vcabench.NewPool([]string{w1.URL, w2.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pool.Healthy()); got != 2 {
+		t.Fatalf("Healthy() found %d of 2 workers", got)
+	}
+
+	spec := vcabench.Campaign{Name: "facade-grid", Sizes: []int{2, 3}}
+	local, err := vcabench.RunCampaign(vcabench.NewTestbed(3), spec, vcabench.TinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := vcabench.RunDistributed(vcabench.NewTestbed(3), spec, vcabench.TinyScale, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := vcabench.WriteJSON(&a, local); err != nil {
+		t.Fatal(err)
+	}
+	if err := vcabench.WriteJSON(&b, dist); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("RunDistributed differs from RunCampaign:\n--- local ---\n%s\n--- distributed ---\n%s", a.Bytes(), b.Bytes())
+	}
+	if st := pool.Stats(); st.Remote == 0 {
+		t.Error("no cells actually crossed the fleet")
+	}
+
+	if _, err := vcabench.RunDistributed(vcabench.NewTestbed(3), spec, vcabench.TinyScale, nil); err == nil {
+		t.Error("nil pool accepted")
+	}
+
+	// Run-by-ID with a dispatcher: campaign-backed artifacts render the
+	// same bytes as a plain run.
+	var plain, dispatched strings.Builder
+	if err := vcabench.Run("fig17", 7, vcabench.TinyScale, &plain); err != nil {
+		t.Fatal(err)
+	}
+	err = vcabench.RunWithOpts("fig17", 7, vcabench.TinyScale,
+		vcabench.RunOpts{Dispatcher: pool}, &dispatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != dispatched.String() {
+		t.Error("fig17 differs between plain and dispatched runs")
 	}
 }
 
