@@ -23,7 +23,9 @@
 // have no campaign cells and always run locally.
 //
 // -campaign runs the grid declared in the given JSON spec (see the
-// README for the format) and renders a per-cell table; -json
+// README for the format — including the time-varying "traces" axis,
+// whose cells carry a rate-over-time series in the JSON results) and
+// renders a per-cell table; -json
 // additionally writes the structured results to a file. With
 // "-json -" stdout carries only the JSON document (no table), so it
 // pipes cleanly into jq and friends. -json without -campaign is a

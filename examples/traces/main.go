@@ -1,0 +1,64 @@
+// Example traces sweeps a grid the paper never ran: drop-depth ×
+// drop-duration × platform. Every cell replays a single drop/recover
+// pulse (à la Fig 13) on the receiver's downlink — the downlink starts
+// uncapped, drops to the cell's depth for the cell's duration, then
+// recovers — and records a rate-over-time series showing how fast each
+// platform climbs back. The same grid ships as spec.json for the CLI:
+//
+//	go run ./cmd/vcabench -campaign examples/traces/spec.json -scale tiny -json -
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/vcabench/vcabench"
+)
+
+func main() {
+	var traces []vcabench.TraceSpec
+	for _, depth := range []int64{1_000_000, 500_000, 250_000} {
+		for _, durSec := range []float64{2, 4} {
+			traces = append(traces, vcabench.TraceSpec{
+				Name: fmt.Sprintf("d%dk-%.0fs", depth/1000, durSec),
+				Square: &vcabench.SquareTrace{
+					HighBps: 0, LowBps: depth,
+					HighSec: 2, LowSec: durSec,
+					Once: true,
+				},
+			})
+		}
+	}
+	spec := vcabench.Campaign{
+		Name:        "drop-grid",
+		Description: "drop-depth × drop-duration × platform recovery sweep",
+		Geometries: []vcabench.Geometry{{
+			Host:      "US-East",
+			Receivers: []string{"US-East2"},
+		}},
+		Motions: []string{"high-motion"},
+		Traces:  traces,
+	}
+
+	tb := vcabench.NewTestbed(7)
+	res, err := vcabench.RunCampaign(tb, spec, vcabench.TinyScale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	res.RenderTable().Render(os.Stdout)
+	fmt.Println()
+
+	// Pull one question out of the grid: how does each platform's
+	// download rate move through the deepest, longest drop?
+	fmt.Println("recovery from the 250Kbps × 4s drop (mean receiver Mbps per second):")
+	for _, kind := range vcabench.Kinds {
+		c := res.Cell(fmt.Sprintf("drop-grid/%s/d250k-4s", kind))
+		fmt.Printf("  %-6s", kind)
+		for _, pt := range c.RateOverTime {
+			fmt.Printf(" %5.2f", pt.DownMbps)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,30 @@
+package capture
+
+import "testing"
+
+// FuzzParseIPv4 feeds arbitrary strings to the strict dotted-quad
+// parser: it must never panic, and every address it accepts must
+// round-trip through its String form to the same four bytes.
+func FuzzParseIPv4(f *testing.F) {
+	for _, seed := range []string{
+		"1.2.3.4", "0.0.0.0", "255.255.255.255", "10.0.0.1",
+		"999.0.0.1", "1.2.3.4.5", "01.2.3.4", " 1.2.3.4", "1.2.3.4 ",
+		"-1.2.3.4", "1.2.3", "::ffff:1.2.3.4", "1.2.3.0x4", "", "....",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ip, err := ParseIPv4(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseIPv4(ip.String())
+		if err != nil {
+			t.Fatalf("ParseIPv4(%q) accepted as %v, whose String %q does not re-parse: %v",
+				s, ip, ip.String(), err)
+		}
+		if back != ip {
+			t.Fatalf("round trip drifted: %q -> %v -> %v", s, ip, back)
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/vcabench/vcabench/internal/report"
 	"github.com/vcabench/vcabench/internal/simnet"
 	"github.com/vcabench/vcabench/internal/stats"
+	"github.com/vcabench/vcabench/internal/trace"
 )
 
 // This file is the campaign-matrix engine: the paper's evaluation is a
@@ -33,8 +34,8 @@ import (
 //
 // Cell unit keys are canonical: "<name>/" followed by one segment per
 // axis that has more than one value, in the fixed order platform,
-// geometry, motion, size, cap, audio, netem. Single-valued axes are
-// omitted so that, e.g., the Fig 17 campaign's cells keep their
+// geometry, motion, size, cap, audio, netem, trace. Single-valued axes
+// are omitted so that, e.g., the Fig 17 campaign's cells keep their
 // historical "fig17/<platform>/<motion>/<cap>" keys. Because shard
 // seeds derive from unit keys, adding a second value to an axis changes
 // every cell's key and therefore its sampled values — append new
@@ -60,6 +61,13 @@ type Campaign struct {
 	Audio []bool `json:"audio,omitempty"`
 	// Netem lists receiver last-mile impairments. Default: none.
 	Netem []Netem `json:"netem,omitempty"`
+	// Traces lists time-varying downlink impairment schedules replayed
+	// over each session (see internal/trace): explicit step lists or
+	// square/sawtooth/step-down generators. Default: no trace. Cells
+	// with an active trace also record a rate-over-time series. Traces
+	// cannot combine with active netem conditions — encode loss and
+	// caps in the trace steps instead.
+	Traces []trace.Spec `json:"traces,omitempty"`
 }
 
 // Geometry places one campaign cell's session: a host region plus a
@@ -159,6 +167,16 @@ func (g resolvedGeometry) receivers(n int) []geo.Region {
 	return out
 }
 
+// resolvedTrace is one Traces-axis value with its schedule expanded:
+// the zero entry (no schedule) is the axis default. The expanded Trace
+// participates in the campaign salt, so two same-named schedules with
+// different steps never share persisted cells.
+type resolvedTrace struct {
+	name   string
+	active bool
+	tr     trace.Trace
+}
+
 // resolvedCampaign is a Campaign with defaults applied and every name
 // resolved; its axis value lists are all non-empty.
 type resolvedCampaign struct {
@@ -170,6 +188,7 @@ type resolvedCampaign struct {
 	caps      []int64
 	audio     []bool
 	netem     []Netem
+	traces    []resolvedTrace
 }
 
 // campaignCell is one fully-specified grid point.
@@ -181,6 +200,7 @@ type campaignCell struct {
 	capBps int64
 	audio  bool
 	netem  Netem
+	trace  resolvedTrace
 	key    string
 }
 
@@ -322,11 +342,57 @@ func (c Campaign) resolve() (*resolvedCampaign, error) {
 		}
 	}
 
+	specs := c.Traces
+	if len(specs) == 0 {
+		specs = []trace.Spec{{}}
+	}
+	for i, ts := range specs {
+		rt := resolvedTrace{name: ts.Name, active: ts.Active()}
+		if ts.Name == "" && len(specs) > 1 {
+			return nil, fmt.Errorf("campaign: trace entry %d needs a name (the axis has %d entries)", i, len(specs))
+		}
+		// Like netem: an active schedule must be visible in results.
+		if ts.Name == "" && rt.active {
+			return nil, fmt.Errorf("campaign: trace entry %d sets a schedule and needs a name", i)
+		}
+		if strings.Contains(ts.Name, "/") {
+			return nil, fmt.Errorf("campaign: trace name %q must not contain %q", ts.Name, "/")
+		}
+		if rt.active {
+			tr, err := ts.Resolve()
+			if err != nil {
+				return nil, fmt.Errorf("campaign: %w", err)
+			}
+			rt.tr = tr
+		}
+		rc.traces = append(rc.traces, rt)
+	}
+	// A trace owns the receiver downlink while it plays; crossing it
+	// with a netem cap or loss would leave two owners of the same
+	// shaper state. Reject the grid rather than silently letting steps
+	// stomp netem conditions.
+	if anyActiveTrace(rc.traces) {
+		for _, ne := range rc.netem {
+			if ne.LossPct > 0 || ne.DownCapBps > 0 || ne.fluctuating() {
+				return nil, fmt.Errorf("campaign: netem %q cannot combine with a trace axis; encode loss and caps in the trace steps", ne.Name)
+			}
+		}
+	}
+
 	// Duplicate axis values collide in the memo table: reject them.
 	if err := uniqueSegments(rc); err != nil {
 		return nil, err
 	}
 	return rc, nil
+}
+
+func anyActiveTrace(ts []resolvedTrace) bool {
+	for _, t := range ts {
+		if t.active {
+			return true
+		}
+	}
+	return false
 }
 
 func resolveGeometry(g Geometry, named bool) (resolvedGeometry, error) {
@@ -409,7 +475,10 @@ func uniqueSegments(rc *resolvedCampaign) error {
 	if err := check("audio value", segs(len(rc.audio), func(i int) string { return audioSegment(rc.audio[i]) })); err != nil {
 		return err
 	}
-	return check("netem name", segs(len(rc.netem), func(i int) string { return rc.netem[i].Name }))
+	if err := check("netem name", segs(len(rc.netem), func(i int) string { return rc.netem[i].Name })); err != nil {
+		return err
+	}
+	return check("trace name", segs(len(rc.traces), func(i int) string { return rc.traces[i].name }))
 }
 
 func audioSegment(on bool) string {
@@ -442,12 +511,14 @@ func (rc *resolvedCampaign) cells() []campaignCell {
 					for _, cap := range rc.caps {
 						for _, audio := range rc.audio {
 							for _, ne := range rc.netem {
-								cell := campaignCell{
-									kind: kind, geom: g, motion: m, n: n,
-									capBps: cap, audio: audio, netem: ne,
+								for _, rt := range rc.traces {
+									cell := campaignCell{
+										kind: kind, geom: g, motion: m, n: n,
+										capBps: cap, audio: audio, netem: ne, trace: rt,
+									}
+									cell.key = rc.key(cell)
+									out = append(out, cell)
 								}
-								cell.key = rc.key(cell)
-								out = append(out, cell)
 							}
 						}
 					}
@@ -483,7 +554,28 @@ func (rc *resolvedCampaign) key(c campaignCell) string {
 	if len(rc.netem) > 1 {
 		segs = append(segs, c.netem.Name)
 	}
+	if len(rc.traces) > 1 {
+		segs = append(segs, c.trace.name)
+	}
 	return strings.Join(segs, "/")
+}
+
+// fluctTrace lowers a fluctuating netem condition onto the trace
+// subsystem: a repeating square wave that starts high and toggles
+// every period, carrying the condition's loss in every step (steps are
+// absolute state, so an unmentioned loss would be cleared). Replayed
+// whole-run from the setup hook, its event schedule is instant-for-
+// instant identical to the Sim.Every toggle loop it replaced.
+func fluctTrace(ne Netem) trace.Trace {
+	period := time.Duration(ne.FluctPeriodSec * float64(time.Second))
+	return trace.Trace{
+		Name:      ne.Name,
+		RepeatSec: (2 * period).Seconds(),
+		Steps: []trace.Step{
+			{AtSec: 0, DownCapBps: ne.FluctHiBps, LossPct: ne.LossPct},
+			{AtSec: period.Seconds(), DownCapBps: ne.FluctLoBps, LossPct: ne.LossPct},
+		},
+	}
 }
 
 // runCell executes one grid point on its forked testbed, translating
@@ -497,25 +589,19 @@ func runCell(stb *Testbed, c campaignCell, sc Scale) *QoEStudyResult {
 	if ne.fluctuating() {
 		opts.DownlinkCapBps = ne.FluctHiBps
 	}
+	if c.trace.active {
+		tr := c.trace.tr
+		opts.Trace = &tr
+	}
 	var setup func([]*simnet.Node)
 	if ne.LossPct > 0 || ne.fluctuating() {
-		period := time.Duration(ne.FluctPeriodSec * float64(time.Second))
 		setup = func(recvNodes []*simnet.Node) {
 			for _, n := range recvNodes {
-				n := n
 				if ne.LossPct > 0 {
 					n.SetDownlinkLoss(ne.LossPct / 100)
 				}
 				if ne.fluctuating() {
-					high := true
-					stb.Sim.Every(period, func() {
-						high = !high
-						cap := ne.FluctHiBps
-						if !high {
-							cap = ne.FluctLoBps
-						}
-						n.SetDownlinkShaper(simnet.NewTokenBucket(cap, 24*1024))
-					})
+					trace.Play(stb.Sim, n, fluctTrace(ne), shaperBurst)
 				}
 			}
 		}
@@ -565,6 +651,7 @@ type CellResult struct {
 	CapBps   int64  `json:"cap_bps"`
 	Audio    bool   `json:"audio"`
 	Netem    string `json:"netem,omitempty"`
+	Trace    string `json:"trace,omitempty"`
 
 	PSNR     *Metric `json:"psnr,omitempty"`
 	SSIM     *Metric `json:"ssim,omitempty"`
@@ -574,7 +661,32 @@ type CellResult struct {
 	DownMbps *Metric `json:"down_mbps,omitempty"`
 	MOS      *Metric `json:"mos,omitempty"`
 
+	// RateOverTime is the mean per-receiver downlink rate over session
+	// time — present only for trace-driven cells, where it makes each
+	// platform's disturbance response and recovery inspectable.
+	RateOverTime []RatePoint `json:"rate_over_time,omitempty"`
+
 	Raw *QoEStudyResult `json:"-"`
+}
+
+// RatePoint is one bin of a cell's rate-over-time series.
+type RatePoint struct {
+	// AtSec is the bin's start offset from session start, in seconds.
+	AtSec float64 `json:"at_sec"`
+	// DownMbps is the mean per-receiver downlink rate in the bin.
+	DownMbps float64 `json:"down_mbps"`
+}
+
+// ratePoints converts a study's binned series into JSON-able points.
+func ratePoints(q *QoEStudyResult) []RatePoint {
+	if len(q.RateOverTime) == 0 {
+		return nil
+	}
+	out := make([]RatePoint, len(q.RateOverTime))
+	for i, v := range q.RateOverTime {
+		out[i] = RatePoint{AtSec: float64(i) * q.RateBin.Seconds(), DownMbps: v}
+	}
+	return out
 }
 
 // CampaignResult aggregates a campaign run. Cells appear in expansion
@@ -645,22 +757,24 @@ func RunCampaign(tb *Testbed, spec Campaign, sc Scale) (*CampaignResult, error) 
 	for i, c := range cells {
 		q := res[i].(*QoEStudyResult)
 		out.Cells[i] = CellResult{
-			Key:      c.key,
-			Platform: string(c.kind),
-			Geometry: c.geom.name,
-			Motion:   c.motion.String(),
-			N:        c.n,
-			CapBps:   c.capBps,
-			Audio:    c.audio,
-			Netem:    c.netem.Name,
-			PSNR:     metricOf(q.PSNR),
-			SSIM:     metricOf(q.SSIM),
-			VIFP:     metricOf(q.VIFP),
-			Freeze:   metricOf(q.Freeze),
-			UpMbps:   metricOf(q.UpMbps),
-			DownMbps: metricOf(q.DownMbps),
-			MOS:      metricOf(q.MOS),
-			Raw:      q,
+			Key:          c.key,
+			Platform:     string(c.kind),
+			Geometry:     c.geom.name,
+			Motion:       c.motion.String(),
+			N:            c.n,
+			CapBps:       c.capBps,
+			Audio:        c.audio,
+			Netem:        c.netem.Name,
+			Trace:        c.trace.name,
+			PSNR:         metricOf(q.PSNR),
+			SSIM:         metricOf(q.SSIM),
+			VIFP:         metricOf(q.VIFP),
+			Freeze:       metricOf(q.Freeze),
+			UpMbps:       metricOf(q.UpMbps),
+			DownMbps:     metricOf(q.DownMbps),
+			MOS:          metricOf(q.MOS),
+			RateOverTime: ratePoints(q),
+			Raw:          q,
 		}
 	}
 	return out, nil
@@ -682,7 +796,7 @@ func mustRunCampaign(tb *Testbed, spec Campaign, sc Scale) *CampaignResult {
 func (r *CampaignResult) RenderTable() *report.Table {
 	t := &report.Table{
 		Title: fmt.Sprintf("campaign %s (scale=%s, seed=%d)", r.Name, r.Scale, r.Seed),
-		Header: []string{"platform", "geometry", "motion", "N", "cap", "audio", "netem",
+		Header: []string{"platform", "geometry", "motion", "N", "cap", "audio", "netem", "trace",
 			"PSNR", "SSIM", "VIFp", "freeze", "up Mbps", "down Mbps", "MOS"},
 	}
 	mean := func(m *Metric) any {
@@ -691,14 +805,16 @@ func (r *CampaignResult) RenderTable() *report.Table {
 		}
 		return m.Mean
 	}
+	dash := func(s string) string {
+		if s == "" {
+			return "-"
+		}
+		return s
+	}
 	for i := range r.Cells {
 		c := &r.Cells[i]
-		netem := c.Netem
-		if netem == "" {
-			netem = "-"
-		}
 		t.AddRow(c.Platform, c.Geometry, c.Motion, c.N, CapLabel(c.CapBps),
-			audioSegment(c.Audio), netem,
+			audioSegment(c.Audio), dash(c.Netem), dash(c.Trace),
 			mean(c.PSNR), mean(c.SSIM), mean(c.VIFP), mean(c.Freeze),
 			mean(c.UpMbps), mean(c.DownMbps), mean(c.MOS))
 	}

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"github.com/vcabench/vcabench/internal/report"
+	"github.com/vcabench/vcabench/internal/store"
+	"github.com/vcabench/vcabench/internal/trace"
 )
 
 // detCampaign is a small grid exercising caps, audio and netem axes —
@@ -370,9 +372,207 @@ func TestRateFormatting(t *testing.T) {
 // The ported fig17 renderer and the campaign engine agree on keys: a
 // smoke check that mustCell cannot panic for any rendered figure cell.
 func TestPortedFigureKeysResolve(t *testing.T) {
-	for _, spec := range []Campaign{usSweepCampaign(), pairCampaign("table1"), lastMileCampaign()} {
+	for _, spec := range []Campaign{usSweepCampaign(), pairCampaign("table1"), lastMileCampaign(), fig13Campaign(TinyScale)} {
 		if _, err := spec.UnitKeys(); err != nil {
 			t.Errorf("%s: %v", spec.Name, err)
 		}
+	}
+}
+
+// traceGrid is a small campaign with a multi-valued trace axis — one
+// clean reference arm next to two schedules.
+func traceGrid() Campaign {
+	return Campaign{
+		Name:       "trgrid",
+		Platforms:  []string{"zoom", "meet"},
+		Geometries: []Geometry{{Host: "US-East", Receivers: []string{"US-East2"}}},
+		Motions:    []string{"high-motion"},
+		Traces: []trace.Spec{
+			{Name: "clean"},
+			{Name: "dip", Square: &trace.SquareSpec{HighBps: 0, LowBps: 500_000, HighSec: 2, LowSec: 2, Once: true}},
+			{Name: "ladder", StepDown: &trace.StepDownSpec{LevelsBps: []int64{1_000_000, 500_000, 250_000}, DwellSec: 2}},
+		},
+	}
+}
+
+// The trace axis keys like every other axis: appended as the last
+// segment when multi-valued, omitted when single-valued.
+func TestCampaignTraceKeys(t *testing.T) {
+	keys, err := traceGrid().UnitKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"trgrid/zoom/clean", "trgrid/zoom/dip", "trgrid/zoom/ladder",
+		"trgrid/meet/clean", "trgrid/meet/dip", "trgrid/meet/ladder",
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("key %d = %q, want %q", i, keys[i], want[i])
+		}
+	}
+	// A single-valued trace axis stays out of the keys (fig13 keeps
+	// plain "fig13/<platform>" cells).
+	keys, err = fig13Campaign(TinyScale).UnitKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys[0] != "fig13/zoom" {
+		t.Errorf("single-trace key = %q", keys[0])
+	}
+}
+
+func TestCampaignTraceValidation(t *testing.T) {
+	dip := func() *trace.SquareSpec {
+		return &trace.SquareSpec{HighBps: 0, LowBps: 500_000, HighSec: 1, LowSec: 1, Once: true}
+	}
+	cases := []struct {
+		name string
+		spec Campaign
+		want string
+	}{
+		{"unnamed active trace", Campaign{Name: "x",
+			Traces: []trace.Spec{{Square: dip()}}}, "needs a name"},
+		{"unnamed among several", Campaign{Name: "x",
+			Traces: []trace.Spec{{}, {Name: "a", Square: dip()}}}, "needs a name"},
+		{"slash in trace name", Campaign{Name: "x",
+			Traces: []trace.Spec{{Name: "a/b", Square: dip()}}}, "must not contain"},
+		{"dup trace name", Campaign{Name: "x",
+			Traces: []trace.Spec{{Name: "a", Square: dip()}, {Name: "a", Square: dip()}}}, "duplicate trace"},
+		{"bad generator", Campaign{Name: "x",
+			Traces: []trace.Spec{{Name: "a", Square: &trace.SquareSpec{HighSec: 0, LowSec: 1}}}}, "high_sec"},
+		{"bad steps", Campaign{Name: "x",
+			Traces: []trace.Spec{{Name: "a", Steps: []trace.Step{{AtSec: 2}, {AtSec: 1}}}}}, "strictly increasing"},
+		{"two sources", Campaign{Name: "x",
+			Traces: []trace.Spec{{Name: "a", Square: dip(), Steps: []trace.Step{{AtSec: 0}}}}}, "mutually exclusive"},
+		{"netem loss conflict", Campaign{Name: "x",
+			Netem:  []Netem{{Name: "lossy", LossPct: 5}},
+			Traces: []trace.Spec{{Name: "a", Square: dip()}}}, "cannot combine"},
+		{"netem fluct conflict", Campaign{Name: "x",
+			Netem:  []Netem{{Name: "w", FluctHiBps: 1_000_000, FluctLoBps: 100_000, FluctPeriodSec: 2}},
+			Traces: []trace.Spec{{Name: "a", Square: dip()}}}, "cannot combine"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v does not mention %q", c.name, err, c.want)
+		}
+	}
+	// A named no-op netem arm next to a trace axis is fine.
+	ok := Campaign{Name: "x",
+		Netem:  []Netem{{Name: "n1"}, {Name: "n2"}},
+		Traces: []trace.Spec{{Name: "a", Square: dip()}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("inactive netem rejected next to traces: %v", err)
+	}
+}
+
+// Trace cells carry their schedule's effects and series; clean cells
+// stay series-free so legacy JSON shapes are untouched.
+func TestCampaignTraceCells(t *testing.T) {
+	tb := NewTestbed(5)
+	res, err := RunCampaign(tb, traceGrid(), TinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := res.Cell("trgrid/zoom/clean")
+	dip := res.Cell("trgrid/zoom/dip")
+	if clean == nil || dip == nil {
+		t.Fatal("expected cells missing")
+	}
+	if clean.RateOverTime != nil {
+		t.Errorf("clean cell grew a rate series: %v", clean.RateOverTime)
+	}
+	bins := int(TinyScale.QoEDur / rateBinWidth)
+	if len(dip.RateOverTime) != bins {
+		t.Fatalf("dip series has %d bins, want %d", len(dip.RateOverTime), bins)
+	}
+	if dip.Trace != "dip" || clean.Trace != "clean" {
+		t.Errorf("trace labels: %q, %q", dip.Trace, clean.Trace)
+	}
+	// The dip must bite: the capped middle bins run well below the
+	// pre-dip rate, and the post-recovery tail climbs back above the
+	// capped floor.
+	pre, mid := dip.RateOverTime[1].DownMbps, dip.RateOverTime[3].DownMbps
+	if mid >= pre {
+		t.Errorf("dip did not bite: pre %.3f, mid %.3f", pre, mid)
+	}
+	if mid > 0.75 {
+		t.Errorf("capped bin runs at %.3f Mbps under a 0.5 Mbps cap", mid)
+	}
+	for _, pt := range dip.RateOverTime {
+		if pt.DownMbps < 0 {
+			t.Errorf("negative rate bin: %+v", pt)
+		}
+	}
+}
+
+// The acceptance matrix for trace-bearing campaigns: byte-identical
+// JSON across worker counts, cold vs warm store, and local vs
+// dispatched execution.
+func TestCampaignTraceDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	render := func(workers int, withStore bool, d Dispatcher) ([]byte, store.Stats) {
+		tb := NewTestbed(42).SetParallelism(workers)
+		var st *store.Store
+		if withStore {
+			var err error
+			if st, err = store.Open(dir); err != nil {
+				t.Fatal(err)
+			}
+			tb.WithStore(st)
+		}
+		if d != nil {
+			tb.WithDispatcher(d)
+		}
+		res, err := RunCampaign(tb, traceGrid(), TinyScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.StoreErr(); err != nil {
+			t.Fatal(err)
+		}
+		var stats store.Stats
+		if st != nil {
+			stats = st.Stats()
+		}
+		return buf.Bytes(), stats
+	}
+
+	serial, _ := render(1, false, nil)
+	parallel, _ := render(8, false, nil)
+	if !bytes.Equal(serial, parallel) {
+		t.Error("trace campaign differs between 1 and 8 workers")
+	}
+
+	cold, coldStats := render(4, true, nil)
+	warm, warmStats := render(2, true, nil)
+	if !bytes.Equal(serial, cold) {
+		t.Error("stored run differs from plain run")
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm rerun differs from cold")
+	}
+	if coldStats.Hits() != 0 || coldStats.Puts != 6 {
+		t.Errorf("cold stats = %+v", coldStats)
+	}
+	if warmStats.Misses != 0 || warmStats.Puts != 0 || warmStats.Hits() != 6 {
+		t.Errorf("warm stats = %+v (cells recomputed)", warmStats)
+	}
+
+	d := &workerDispatcher{}
+	dist, _ := render(4, false, d)
+	if !bytes.Equal(serial, dist) {
+		t.Error("dispatched trace campaign differs from local run")
+	}
+	if d.calls.Load() != 6 {
+		t.Errorf("dispatcher saw %d units, want 6", d.calls.Load())
 	}
 }

@@ -35,7 +35,8 @@ type CellStore interface {
 // cellSchemaVersion names the gob encoding of persisted unit results.
 // Bump it whenever QoEStudyResult, LagStudyResult or any type they
 // embed changes shape: old entries then miss instead of mis-decoding.
-const cellSchemaVersion = 1
+// v2: QoEStudyResult gained the RateOverTime/RateBin series.
+const cellSchemaVersion = 2
 
 func init() {
 	// Unit results are persisted as a gob interface value so one codec

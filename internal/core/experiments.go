@@ -11,6 +11,7 @@ import (
 	"github.com/vcabench/vcabench/internal/mobile"
 	"github.com/vcabench/vcabench/internal/platform"
 	"github.com/vcabench/vcabench/internal/report"
+	"github.com/vcabench/vcabench/internal/trace"
 )
 
 // Experiment is one reproducible paper artifact.
@@ -139,6 +140,25 @@ func pairCampaign(name string) Campaign {
 		Geometries: []Geometry{{Host: geo.USEast.Name, Receivers: []string{geo.USEast2.Name}}},
 		Motions:    []string{media.HighMotion.String()},
 	}
+}
+
+// fig13Campaign declares the paper's §4.4 disturbance scenario as a
+// trace-driven campaign: each session's downlink starts uncapped,
+// drops to 0.5 Mbps for the middle half of the session, then recovers
+// — scaled to the session length so every Scale sees the same shape.
+// The cell's rate-over-time series is the figure.
+func fig13Campaign(sc Scale) Campaign {
+	spec := pairCampaign("fig13")
+	quarter := sc.QoEDur.Seconds() / 4
+	spec.Traces = []trace.Spec{{
+		Name: "dip500k",
+		Square: &trace.SquareSpec{
+			HighBps: 0, LowBps: 500_000,
+			HighSec: quarter, LowSec: 2 * quarter,
+			Once: true,
+		},
+	}}
+	return spec
 }
 
 // capsList copies the Fig 17/18 cap axis for a campaign spec.
@@ -296,6 +316,35 @@ func Experiments() []Experiment {
 					qoeTable(w, fmt.Sprintf("fig12 %s: SSIM", m), sweep, m, func(c *CellResult) float64 { return c.SSIM.Mean })
 					qoeTable(w, fmt.Sprintf("fig12 %s: VIFp", m), sweep, m, func(c *CellResult) float64 { return c.VIFP.Mean })
 				}
+			},
+		},
+		{
+			ID:    "fig13",
+			Title: "Rate recovery after a mid-call bandwidth drop (trace-driven)",
+			Paper: "downlink capped to 0.5Mbps mid-call: rates collapse toward the cap, then climb back once it lifts; recovery speed differs per platform",
+			Run: func(tb *Testbed, sc Scale, w io.Writer) {
+				res := mustRunCampaign(tb, fig13Campaign(sc), sc)
+				cells := make(map[platform.Kind]*CellResult, len(platform.Kinds))
+				for _, k := range platform.Kinds {
+					cells[k] = res.mustCell("fig13/" + string(k))
+				}
+				quarter := sc.QoEDur.Seconds() / 4
+				t := report.Table{
+					Title: fmt.Sprintf("fig13: receiver download rate (Mbps); 0.5Mbps cap over [%.0fs, %.0fs)",
+						quarter, 3*quarter),
+					Header: []string{"t (s)"},
+				}
+				for _, k := range platform.Kinds {
+					t.Header = append(t.Header, string(k))
+				}
+				for i, pt := range cells[platform.Zoom].RateOverTime {
+					row := []any{pt.AtSec}
+					for _, k := range platform.Kinds {
+						row = append(row, cells[k].RateOverTime[i].DownMbps)
+					}
+					t.AddRow(row...)
+				}
+				t.Render(w)
 			},
 		},
 		{

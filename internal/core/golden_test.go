@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/vcabench/vcabench/internal/report"
+	"github.com/vcabench/vcabench/internal/trace"
+)
+
+// The golden files under testdata/golden lock in the determinism
+// contract everything above the scheduler depends on: the same seed,
+// scale and spec must keep producing the same bytes across refactors,
+// or memoized, stored and remotely computed cells silently diverge
+// from fresh ones. Regenerate deliberately with:
+//
+//	go test ./internal/core -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from its golden copy.\nIf the change is intended, rerun with -update and commit.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// goldenCampaign is a small grid covering the trace axis next to a
+// clean reference arm — the newest key segments and the rate-over-time
+// series are exactly what must not drift.
+func goldenCampaign() Campaign {
+	return Campaign{
+		Name:      "golden",
+		Platforms: []string{"zoom", "webex"},
+		Geometries: []Geometry{
+			{Host: "US-East", Receivers: []string{"US-East2"}},
+		},
+		Motions: []string{"high-motion"},
+		Traces: []trace.Spec{
+			{Name: "clean"},
+			{Name: "dip", Square: &trace.SquareSpec{
+				HighBps: 0, LowBps: 500_000, HighSec: 2, LowSec: 4, Once: true,
+			}},
+		},
+	}
+}
+
+func TestGoldenTraceCampaign(t *testing.T) {
+	tb := NewTestbed(42).SetParallelism(2)
+	res, err := RunCampaign(tb, goldenCampaign(), TinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace_campaign_table.txt", []byte(res.RenderTable().String()))
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace_campaign.json", buf.Bytes())
+}
+
+// table1 ties the golden layer to a real paper artifact rendered
+// through the experiment registry (campaign engine, memo table,
+// metric summaries and table renderer in one pass).
+func TestGoldenTable1(t *testing.T) {
+	e, ok := Lookup("table1")
+	if !ok {
+		t.Fatal("table1 not registered")
+	}
+	var buf bytes.Buffer
+	e.Run(NewTestbed(42).SetParallelism(2), TinyScale, &buf)
+	checkGolden(t, "table1.txt", buf.Bytes())
+}

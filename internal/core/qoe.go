@@ -12,7 +12,17 @@ import (
 	"github.com/vcabench/vcabench/internal/qoe"
 	"github.com/vcabench/vcabench/internal/simnet"
 	"github.com/vcabench/vcabench/internal/stats"
+	"github.com/vcabench/vcabench/internal/trace"
 )
+
+// shaperBurst is the token-bucket depth of every receiver-side cap:
+// the tc-tbf burst the paper's last-mile setup used.
+const shaperBurst = 24 * 1024
+
+// rateBinWidth is the RateOverTime bin width. One second resolves the
+// recovery dynamics the paper plots while keeping paper-scale series
+// to a few hundred points.
+const rateBinWidth = time.Second
 
 // QoEOpts tunes a QoE study beyond its geometry.
 type QoEOpts struct {
@@ -21,6 +31,12 @@ type QoEOpts struct {
 	DownlinkCapBps int64
 	// WithAudio streams speech alongside video and scores MOS-LQO.
 	WithAudio bool
+	// Trace, when non-nil, replays a time-varying impairment schedule
+	// on every receiver's downlink over each session (restarting at
+	// every session start), and collects the RateOverTime series. The
+	// trace owns the downlink while it plays: DownlinkCapBps is only
+	// the pre-trace baseline, restored between sessions.
+	Trace *trace.Trace
 }
 
 // QoEStudyResult aggregates one (platform, motion, N) cell of Figs 12-18.
@@ -33,6 +49,13 @@ type QoEStudyResult struct {
 	Freeze           *stats.Sample
 	UpMbps, DownMbps *stats.Sample // host upload / receiver download (L7)
 	MOS              *stats.Sample // audio, when WithAudio
+
+	// RateOverTime is the mean per-receiver downlink rate (Mbps) in
+	// consecutive RateBin-wide bins of session time, averaged across
+	// sessions and receivers — how recovery dynamics under a
+	// time-varying trace become inspectable. nil for trace-free cells.
+	RateOverTime []float64
+	RateBin      time.Duration
 }
 
 func newQoEResult(kind platform.Kind, motion media.MotionClass, n int) *QoEStudyResult {
@@ -88,14 +111,14 @@ func RunQoEStudyWithSetup(tb *Testbed, kind platform.Kind, host geo.Region, recv
 			Seed:    tb.seed + 400 + int64(i),
 			Resolve: resolve,
 		}
-		if opts.DownlinkCapBps > 0 {
+		if opts.DownlinkCapBps > 0 || opts.Trace != nil {
 			// tc-tbf style: a short buffer, so overload surfaces as loss
 			// within ~1 s instead of an unbounded standing queue.
 			cfg.QueueBytes = 32 * 1024
 		}
 		recvs[i] = client.New(tb.Net, cfg)
 		if opts.DownlinkCapBps > 0 {
-			recvs[i].Node().SetDownlinkShaper(simnet.NewTokenBucket(opts.DownlinkCapBps, 24*1024))
+			recvs[i].Node().SetDownlinkShaper(simnet.NewTokenBucket(opts.DownlinkCapBps, shaperBurst))
 		}
 	}
 
@@ -105,6 +128,13 @@ func RunQoEStudyWithSetup(tb *Testbed, kind platform.Kind, host geo.Region, recv
 			nodes[i] = r.Node()
 		}
 		setup(nodes)
+	}
+
+	// A trace-driven cell bins every receiver's downlink bytes over
+	// session time; bins average across sessions × receivers at the end.
+	var binBytes []int64
+	if opts.Trace != nil {
+		binBytes = make([]int64, int((sc.QoEDur+rateBinWidth-1)/rateBinWidth))
 	}
 
 	all := append([]*client.Client{hostClient}, recvs...)
@@ -118,12 +148,26 @@ func RunQoEStudyWithSetup(tb *Testbed, kind platform.Kind, host geo.Region, recv
 		for _, c := range all {
 			c.Start()
 		}
+		// The trace restarts at every session start, so each session
+		// sees the same disturbance schedule in session time.
+		var players []*trace.Player
+		if opts.Trace != nil {
+			for _, r := range recvs {
+				players = append(players, trace.Play(tb.Sim, r.Node(), *opts.Trace, shaperBurst))
+			}
+		}
 		tb.Sim.RunFor(sc.QoEDur)
 		for _, c := range all {
 			c.Stop()
 		}
 		s.End()
 		to := tb.Sim.Now()
+		// Freeze the schedule and restore the pre-trace baseline before
+		// the inter-session gap.
+		for i, p := range players {
+			p.Stop()
+			recvs[i].Node().SetDownlinkState(simnet.LinkState{CapBps: opts.DownlinkCapBps, Burst: shaperBurst})
+		}
 
 		// Score this session.
 		hostWin := hostClient.Trace().Between(from, to)
@@ -140,11 +184,34 @@ func RunQoEStudyWithSetup(tb *Testbed, kind platform.Kind, host geo.Region, recv
 			if opts.WithAudio && rec.Audio != nil {
 				res.MOS.Add(qoe.MOSLQO(rec.RefAudio, rec.Audio))
 			}
+			for b := range binBytes {
+				bs := from.Add(time.Duration(b) * rateBinWidth)
+				be := bs.Add(rateBinWidth)
+				if be.After(to) {
+					be = to
+				}
+				binBytes[b] += win.Between(bs, be).Bytes(capture.In)
+			}
 		}
 		for _, c := range all {
 			c.Reset()
 		}
 		tb.Sim.RunFor(2 * time.Second)
+	}
+	if binBytes != nil {
+		res.RateBin = rateBinWidth
+		res.RateOverTime = make([]float64, len(binBytes))
+		for b, n := range binBytes {
+			// The final bin is clamped to the session end, so its rate
+			// normalizes over its actual span, not the nominal width
+			// (QoEDur need not be a whole multiple of the bin width).
+			span := sc.QoEDur - time.Duration(b)*rateBinWidth
+			if span > rateBinWidth {
+				span = rateBinWidth
+			}
+			norm := float64(sc.QoESessions*len(recvs)) * span.Seconds()
+			res.RateOverTime[b] = float64(n) * 8 / norm / 1e6
+		}
 	}
 	return res
 }

@@ -109,8 +109,9 @@ func cellIndexKey(scaleName string, seed int64, unitKey string) string {
 // eviction. The "servecell" prefix keeps these documents disjoint from
 // core's gob-encoded cells ("v<N>/seed..."); the version is this JSON
 // framing's, bumped if the rendered cell shape ever changes.
+// v2: CellResult gained the trace label and rate_over_time series.
 func cellStoreKey(scaleName string, seed int64, unitKey string) string {
-	return fmt.Sprintf("servecell/v1/%s/%d/%s", scaleName, seed, unitKey)
+	return fmt.Sprintf("servecell/v2/%s/%d/%s", scaleName, seed, unitKey)
 }
 
 // job is one submitted campaign execution.

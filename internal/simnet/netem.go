@@ -89,14 +89,16 @@ type PipeStats struct {
 }
 
 // pipe is one direction of a node's access link: optional random loss,
-// optional token-bucket shaper, FIFO with a byte-bounded queue, and a
-// serialization rate.
+// optional token-bucket shaper, FIFO with a byte-bounded queue, a
+// serialization rate, and an optional fixed extra delay applied after
+// the rate stage (netem-style delay).
 type pipe struct {
 	sim        *Sim
 	rateBps    int64
 	queueLimit int
 	shaper     *TokenBucket
 	lossProb   float64
+	extraDelay time.Duration
 	rng        *randSource
 	queuedB    int
 	nextFree   time.Time
@@ -116,7 +118,7 @@ func (p *pipe) deliverAfter(pkt *Packet, then func(*Packet)) {
 		return
 	}
 	// Unconstrained pipe: forward immediately.
-	if p.rateBps <= 0 && p.shaper == nil {
+	if p.rateBps <= 0 && p.shaper == nil && p.extraDelay <= 0 {
 		p.stats.Packets++
 		p.stats.Bytes += int64(pkt.Size)
 		then(pkt)
@@ -140,10 +142,21 @@ func (p *pipe) deliverAfter(pkt *Packet, then func(*Packet)) {
 	if p.rateBps > 0 {
 		departAt = departAt.Add(txDuration(wire, p.rateBps))
 	}
+	// The delay stage holds the packet after the rate stage without
+	// occupying the serializer or the queue: a constant delay shifts
+	// deliveries, it must not reduce throughput — so queue bytes are
+	// released when serialization ends, not when the held packet is
+	// finally delivered. Lowering the delay mid-run can reorder
+	// in-flight packets across the change, as real netem does.
 	p.nextFree = departAt
 	p.queuedB += wire
 	p.stats.Packets++
 	p.stats.Bytes += int64(pkt.Size)
+	if extra := p.extraDelay; extra > 0 {
+		p.sim.At(departAt, func() { p.queuedB -= wire })
+		p.sim.At(departAt.Add(extra), func() { then(pkt) })
+		return
+	}
 	p.sim.At(departAt, func() {
 		p.queuedB -= wire
 		then(pkt)
@@ -196,8 +209,17 @@ func (tb *TokenBucket) Admit(now time.Time, bytes int) time.Time {
 		tb.tokens -= need
 		return now
 	}
+	// The deficit accrues from tb.last, not from now: after a deficit
+	// admission tb.last sits in the future, and basing the wait on an
+	// earlier now would move tb.last backwards and double-grant the
+	// tokens of the overlap — admitted throughput could then exceed
+	// rate + burst, and admission times could run backwards.
+	base := now
+	if tb.last.After(base) {
+		base = tb.last
+	}
 	wait := (need - tb.tokens) / (float64(tb.RateBps) / 8)
-	at := now.Add(time.Duration(wait * float64(time.Second)))
+	at := base.Add(time.Duration(wait * float64(time.Second)))
 	tb.tokens = 0
 	tb.last = at
 	return at
@@ -241,6 +263,50 @@ func (n *Node) SetUplinkShaper(tb *TokenBucket) { n.up.shaper = tb }
 // mirroring a netem loss discipline on the last mile. It replaces any
 // probability configured at AddNode time; 0 disables random loss.
 func (n *Node) SetDownlinkLoss(p float64) { n.down.lossProb = p }
+
+// SetDownlinkExtraDelay holds every downlink delivery for an extra
+// fixed duration after the rate stage (netem-style delay); 0 disables.
+func (n *Node) SetDownlinkExtraDelay(d time.Duration) { n.down.extraDelay = d }
+
+// LinkState is one complete, atomically-applied downlink configuration
+// — the reconfigurable subset of NodeConfig that trace-driven
+// impairment schedules sweep over simulated time. Fields are absolute
+// state, not deltas: applying a LinkState fully determines the
+// downlink's shaping, loss and delay from that instant on.
+type LinkState struct {
+	// CapBps is a token-bucket shaping rate in bits/s; 0 removes the
+	// shaper (unshaped). A fresh bucket is installed on every apply, so
+	// reapplying the same rate restarts the burst allowance.
+	CapBps int64
+	// Burst is the bucket depth in bytes; <= 0 selects the
+	// NewTokenBucket default.
+	Burst int
+	// LossProb is the independent per-packet drop probability.
+	LossProb float64
+	// ExtraDelay is a fixed per-packet delivery delay after the rate
+	// stage.
+	ExtraDelay time.Duration
+}
+
+// SetDownlinkState applies st to the node's ingress in one call — the
+// reconfiguration primitive behind trace-driven impairment schedules
+// (see internal/trace).
+func (n *Node) SetDownlinkState(st LinkState) {
+	if st.CapBps > 0 {
+		n.down.shaper = NewTokenBucket(st.CapBps, st.Burst)
+	} else {
+		n.down.shaper = nil
+	}
+	n.down.lossProb = st.LossProb
+	n.down.extraDelay = st.ExtraDelay
+}
+
+// DownlinkAt schedules SetDownlinkState(st) at absolute virtual time t
+// — the scheduled-reconfiguration hook trace players drive. Cancel the
+// returned event to drop a pending reconfiguration.
+func (n *Node) DownlinkAt(t time.Time, st LinkState) *Event {
+	return n.net.sim.At(t, func() { n.SetDownlinkState(st) })
+}
 
 // UplinkStats and DownlinkStats expose access-link counters.
 func (n *Node) UplinkStats() PipeStats   { return n.up.stats }

@@ -325,6 +325,122 @@ func TestTokenBucketProperty(t *testing.T) {
 	}
 }
 
+// Property over arbitrary time-ordered arrival sequences — including
+// arrivals that land while an earlier admission's departure is still
+// pending, which the pipe never generates but the exported API allows:
+// admission times are monotonic and never precede the arrival, and the
+// bytes admitted by any departure time never exceed the configured
+// rate times elapsed time plus one burst. (An earlier Admit based the
+// deficit wait on the arrival instead of the refill clock, moving the
+// clock backwards and double-granting the overlap.)
+func TestTokenBucketAdmitProperty(t *testing.T) {
+	const (
+		rateBps = 500_000
+		burst   = 8192
+		maxPkt  = 2048
+	)
+	f := func(raw []uint32) bool {
+		tb := NewTokenBucket(rateBps, burst)
+		now := Epoch
+		var start, last time.Time
+		var admitted float64
+		for _, r := range raw {
+			size := int(r&0x7ff) + 1                             // 1..2048 bytes
+			gap := time.Duration(r>>11&0x3ff) * time.Millisecond // 0..1023 ms between arrivals
+			now = now.Add(gap)
+			at := tb.Admit(now, size)
+			if at.Before(now) {
+				return false
+			}
+			if !last.IsZero() && at.Before(last) {
+				return false // admission times ran backwards
+			}
+			last = at
+			if start.IsZero() {
+				start = now // bucket primes (full) at first admission
+			}
+			admitted += float64(size)
+			budget := rateBps/8.0*at.Sub(start).Seconds() + burst + maxPkt
+			if admitted > budget+1 {
+				return false // throughput exceeded rate + one burst
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// SetDownlinkState swaps the whole downlink configuration atomically,
+// and DownlinkAt applies one at a scheduled virtual time.
+func TestDownlinkStateReconfig(t *testing.T) {
+	s, n := newTestNet(5)
+	a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})
+	b := n.AddNode(NodeConfig{Name: "b", Region: geo.USEast2, QueueBytes: 1 << 20})
+	var arrivals []time.Time
+	b.Bind(7, func(p *Packet) { arrivals = append(arrivals, s.Now()) })
+
+	send := func(at time.Time) {
+		s.At(at, func() { a.Send(&Packet{To: Addr{Node: "b", Port: 7}, Size: 1000}) })
+	}
+	// Phase 1 (unshaped), phase 2 (10 kbps cap, tiny burst: ~0.8 s per
+	// packet), phase 3 (cap lifted, 200 ms extra delay).
+	b.DownlinkAt(Epoch.Add(1*time.Second), LinkState{CapBps: 10_000, Burst: 512})
+	b.DownlinkAt(Epoch.Add(3*time.Second), LinkState{ExtraDelay: 200 * time.Millisecond})
+	send(Epoch.Add(100 * time.Millisecond))
+	send(Epoch.Add(1100 * time.Millisecond))
+	send(Epoch.Add(3100 * time.Millisecond))
+	s.Run()
+
+	if len(arrivals) != 3 {
+		t.Fatalf("deliveries = %d, want 3", len(arrivals))
+	}
+	if d := arrivals[0].Sub(Epoch); d > 500*time.Millisecond {
+		t.Errorf("unshaped packet took %v", d)
+	}
+	if d := arrivals[1].Sub(Epoch); d < 1500*time.Millisecond {
+		t.Errorf("capped packet arrived too fast: %v", d)
+	}
+	if d := arrivals[2].Sub(Epoch); d < 3300*time.Millisecond || d > 3500*time.Millisecond {
+		t.Errorf("delayed packet arrived at %v, want ~3.3s", d)
+	}
+
+	// The zero state restores a pristine downlink.
+	b.SetDownlinkState(LinkState{})
+	var clean []time.Time
+	b.Bind(7, func(p *Packet) { clean = append(clean, s.Now()) })
+	send(s.Now().Add(50 * time.Millisecond))
+	s.Run()
+	if len(clean) != 1 {
+		t.Fatalf("post-reset deliveries = %d, want 1", len(clean))
+	}
+}
+
+// A constant extra delay shifts deliveries; it must not eat queue
+// budget and turn into tail drops on a capped link.
+func TestExtraDelayDoesNotReduceThroughput(t *testing.T) {
+	run := func(delay time.Duration) int {
+		s, n := newTestNet(3)
+		a := n.AddNode(NodeConfig{Name: "a", Region: geo.USEast})
+		b := n.AddNode(NodeConfig{Name: "b", Region: geo.USEast2, QueueBytes: 32 * 1024})
+		b.SetDownlinkState(LinkState{CapBps: 2_000_000, Burst: 8192, ExtraDelay: delay})
+		delivered := 0
+		b.Bind(5, func(p *Packet) { delivered++ })
+		// Offer exactly the cap for 10 s: 1000B every 4 ms.
+		for i := 0; i < 2500; i++ {
+			at := Epoch.Add(time.Duration(i) * 4 * time.Millisecond)
+			s.At(at, func() { a.Send(&Packet{To: Addr{"b", 5}, Size: 1000}) })
+		}
+		s.Run()
+		return delivered
+	}
+	plain, delayed := run(0), run(300*time.Millisecond)
+	if delayed < plain-plain/50 {
+		t.Errorf("300ms constant delay cost throughput: %d vs %d delivered", delayed, plain)
+	}
+}
+
 func TestPipeConservation(t *testing.T) {
 	// Every offered packet is either delivered or counted as a drop.
 	s, n := newTestNet(11)

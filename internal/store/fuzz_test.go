@@ -1,0 +1,65 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzGetCorrupt writes arbitrary bytes where a cell file belongs and
+// reads the key back: the store's corruption-is-a-miss contract says a
+// torn, tampered or foreign file must surface as a miss (or, only for
+// a byte-exact valid frame, the framed payload) — never a panic, and
+// never someone else's payload.
+func FuzzGetCorrupt(f *testing.F) {
+	const key = "v2/seed42/tiny/fuzz/unit"
+	valid := frame(key, []byte("payload-bytes"))
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1]) // torn tail
+	f.Add(valid[:len(magic)+3]) // torn header
+	f.Add(append([]byte("junk"), valid...))
+	f.Add(frame("some/other/key", []byte("foreign")))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		objPath := s.path(key)
+		if err := os.MkdirAll(filepath.Dir(objPath), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(objPath, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		data, ok := s.Get(key)
+		if !ok {
+			// A miss must be accounted as a miss or a corrupt entry,
+			// and a later Put must still repair the slot.
+			st := s.Stats()
+			if st.Misses+st.Corrupt != 1 {
+				t.Fatalf("miss not counted: %+v", st)
+			}
+			if err := s.Put(key, []byte("fresh")); err != nil {
+				t.Fatalf("Put over corrupt file: %v", err)
+			}
+			got, ok := s.Get(key)
+			if !ok || string(got) != "fresh" {
+				t.Fatalf("repair failed: %q, %v", got, ok)
+			}
+			return
+		}
+		// The only way fuzzed bytes may be served is as a byte-exact
+		// valid frame for this key.
+		payload, err := unframe(key, raw)
+		if err != nil {
+			t.Fatalf("Get served bytes from an unframeable file: %q", data)
+		}
+		if !bytes.Equal(data, payload) {
+			t.Fatalf("Get served %q, frame holds %q", data, payload)
+		}
+	})
+}

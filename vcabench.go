@@ -42,6 +42,7 @@ import (
 	"github.com/vcabench/vcabench/internal/platform"
 	"github.com/vcabench/vcabench/internal/report"
 	"github.com/vcabench/vcabench/internal/store"
+	"github.com/vcabench/vcabench/internal/trace"
 )
 
 // Re-exported platform identities.
@@ -80,6 +81,23 @@ type (
 	Geometry = core.Geometry
 	// Netem is a receiver-side last-mile impairment condition.
 	Netem = core.Netem
+	// Trace is a time-varying downlink impairment schedule: named
+	// (at, cap, loss, extra delay) steps replayed over session time.
+	Trace = trace.Trace
+	// TraceStep is one schedule point of a Trace.
+	TraceStep = trace.Step
+	// TraceSpec declares a trace on a campaign's Traces axis: explicit
+	// steps or one of the square/sawtooth/step-down generators.
+	TraceSpec = trace.Spec
+	// SquareTrace parameterizes a square-wave (or, with Once, a single
+	// drop/recover pulse) trace generator.
+	SquareTrace = trace.SquareSpec
+	// SawtoothTrace parameterizes a repeating descending-ramp generator.
+	SawtoothTrace = trace.SawtoothSpec
+	// StepDownTrace parameterizes a play-once descending-ladder generator.
+	StepDownTrace = trace.StepDownSpec
+	// RatePoint is one bin of a trace-driven cell's rate-over-time series.
+	RatePoint = core.RatePoint
 	// CampaignResult aggregates a campaign run (JSON-encodable).
 	CampaignResult = core.CampaignResult
 	// CellResult is one campaign grid point's outcome.

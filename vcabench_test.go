@@ -130,6 +130,55 @@ func TestRunDistributedFacade(t *testing.T) {
 	}
 }
 
+// A trace-bearing campaign crosses a vcabenchd worker byte-identically:
+// the Traces axis survives the HTTP spec round trip, the rate-over-time
+// series survives the gob round trip, and the merged JSON matches a
+// purely local run.
+func TestRunDistributedTraceCampaign(t *testing.T) {
+	w := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	t.Cleanup(w.Close)
+	pool, err := vcabench.NewPool([]string{w.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := vcabench.Campaign{
+		Name:       "facade-traces",
+		Platforms:  []string{"zoom", "webex"},
+		Geometries: []vcabench.Geometry{{Host: "US-East", Receivers: []string{"US-East2"}}},
+		Traces: []vcabench.TraceSpec{
+			{Name: "clean"},
+			{Name: "dip", Square: &vcabench.SquareTrace{
+				HighBps: 0, LowBps: 500_000, HighSec: 2, LowSec: 2, Once: true,
+			}},
+		},
+	}
+	local, err := vcabench.RunCampaign(vcabench.NewTestbed(9), spec, vcabench.TinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := vcabench.RunDistributed(vcabench.NewTestbed(9), spec, vcabench.TinyScale, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := vcabench.WriteJSON(&a, local); err != nil {
+		t.Fatal(err)
+	}
+	if err := vcabench.WriteJSON(&b, dist); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("distributed trace campaign differs from local:\n--- local ---\n%s\n--- distributed ---\n%s", a.Bytes(), b.Bytes())
+	}
+	if st := pool.Stats(); st.Remote != 4 {
+		t.Errorf("fleet served %d of 4 cells", st.Remote)
+	}
+	cell := dist.Cell("facade-traces/zoom/dip")
+	if cell == nil || len(cell.RateOverTime) == 0 {
+		t.Fatal("rate-over-time series lost across the fleet")
+	}
+}
+
 // The persistent store through the public facade: a warm rerun from a
 // "fresh process" (new store handle, new testbed) renders identical
 // bytes while recomputing nothing.
