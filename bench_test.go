@@ -99,6 +99,36 @@ func BenchmarkFig12SweepDistributed(b *testing.B) {
 	}
 }
 
+// Replicated campaign: two cells × five replicas through the full
+// aggregation pipeline. Against BenchmarkFig12SweepSerial-style
+// single-run numbers this tracks what the ×N replication axis costs;
+// the reported metric is the mean PSNR CI half-width, the statistical
+// payoff the extra compute buys.
+func BenchmarkReplicatedCampaign(b *testing.B) {
+	spec := vcabench.Campaign{
+		Name:      "bench-rep",
+		Platforms: []string{"zoom", "meet"},
+		Geometries: []vcabench.Geometry{
+			{Host: "US-East", Receivers: []string{"US-East2"}},
+		},
+		Motions: []string{"high-motion"},
+		Repeats: 5,
+	}
+	var ci float64
+	for i := 0; i < b.N; i++ {
+		res, err := vcabench.RunCampaign(vcabench.NewTestbed(42), spec, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ci = 0
+		for j := range res.Cells {
+			ci += *res.Cells[j].PSNR.CI95
+		}
+		ci /= float64(len(res.Cells))
+	}
+	b.ReportMetric(ci, "psnr-ci95-halfwidth")
+}
+
 // Serial-vs-parallel pairs over the two heaviest campaign shapes: a
 // (platform, scenario) lag figure and the 30-cell §4.3.1 US QoE sweep.
 func BenchmarkFig4CampaignSerial(b *testing.B)     { runExperimentParallel(b, "fig4", 1) }

@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// JSON benchmark record committed as BENCH_<n>.json and uploaded by CI:
+//
+//	go test -bench 'Fig12Sweep(Cold|Warm|Distributed)$|ReplicatedCampaign$' \
+//	    -benchtime=1x -run '^$' . | go run ./cmd/benchjson > BENCH_6.json
+//
+// Every "Benchmark..." result line becomes one entry carrying the
+// iteration count, ns/op and any custom metrics the benchmark reported
+// (b.ReportMetric pairs). Environment lines (goos/goarch/pkg/cpu) are
+// captured once at the top level. Entries keep input order, so the
+// document is deterministic for a given bench run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name    string             `json:"name"`
+	N       int64              `json:"n"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type record struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rec := record{Benchmarks: []benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rec.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rec.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rec.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBench(line)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: skipping unparseable line: %s\n", line)
+				continue
+			}
+			rec.Benchmarks = append(rec.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one result line:
+//
+//	BenchmarkName-8   3   123456 ns/op   0.42 some-metric   2 B/op
+//
+// The trailing "-8" GOMAXPROCS suffix is stripped from the name; the
+// value/unit pairs after the iteration count land in ns/op or Metrics.
+func parseBench(line string) (benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: name, N: n}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = v
+	}
+	return b, true
+}

@@ -31,6 +31,12 @@
 // pipes cleanly into jq and friends. -json without -campaign is a
 // usage error.
 //
+// -repeats N overrides the spec's "repeats" axis: every cell runs N
+// times with independent key-derived seeds and the table/JSON report
+// aggregated statistics (mean ±95% CI per metric, plus a per-replica
+// "replicas" block in the JSON). -repeats 0 (the default) keeps the
+// spec's own value; -repeats requires -campaign.
+//
 // -cache persists campaign-unit results in the given directory: a
 // rerun of the same experiment or spec (same seed and scale, any
 // -parallel value, any process) serves every cell from the store and
@@ -61,6 +67,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "campaign worker count (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir = flag.String("cache", "", "persist campaign-unit results in this directory")
 		workers  = flag.String("workers", "", "comma-separated vcabenchd base URLs to shard campaign cells across")
+		repeats  = flag.Int("repeats", 0, "with -campaign: run every cell this many times and aggregate (0 = spec's value)")
 	)
 	flag.Parse()
 
@@ -69,10 +76,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *repeats < 0 {
+		fmt.Fprintf(os.Stderr, "vcabench: -repeats %d: replication factor must be >= 1 (or 0 for the spec's value)\n", *repeats)
+		flag.Usage()
+		os.Exit(2)
+	}
 	// Flag-consistency errors beat silent ignoring, so they are checked
 	// before -list short-circuits.
 	if *jsonOut != "" && *campaign == "" {
 		fmt.Fprintln(os.Stderr, "vcabench: -json requires -campaign")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *repeats != 0 && *campaign == "" {
+		fmt.Fprintln(os.Stderr, "vcabench: -repeats requires -campaign")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -122,7 +139,7 @@ func main() {
 	}
 
 	if *campaign != "" {
-		if err := runCampaign(*campaign, *jsonOut, *seed, sc, *parallel, st, pool); err != nil {
+		if err := runCampaign(*campaign, *jsonOut, *seed, sc, *parallel, *repeats, st, pool); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			reportCache(st)
 			reportCluster(pool)
@@ -217,7 +234,7 @@ func reportCache(st *vcabench.Store) {
 
 // runCampaign loads a spec file, runs the grid and writes the text
 // table to stdout plus, optionally, JSON results to jsonPath.
-func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, workers int, st *vcabench.Store, pool *vcabench.Pool) error {
+func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, workers, repeats int, st *vcabench.Store, pool *vcabench.Pool) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return fmt.Errorf("vcabench: %w", err)
@@ -225,6 +242,13 @@ func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, worke
 	spec, err := vcabench.ParseCampaign(data)
 	if err != nil {
 		return fmt.Errorf("vcabench: %s: %w", specPath, err)
+	}
+	if repeats != 0 {
+		spec.Repeats = repeats
+		// The override must obey the same bounds a spec-file value would.
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("vcabench: -repeats %d: %w", repeats, err)
+		}
 	}
 	tb := vcabench.NewTestbedParallel(seed, workers)
 	if st != nil {

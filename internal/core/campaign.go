@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -68,7 +69,20 @@ type Campaign struct {
 	// cannot combine with active netem conditions — encode loss and
 	// caps in the trace steps instead.
 	Traces []trace.Spec `json:"traces,omitempty"`
+	// Repeats is the seed-replication factor: every cell runs Repeats
+	// times, each replica an independent "<cellKey>/rep=K" unit with its
+	// own key-derived seed, and the cell's metrics aggregate across
+	// replicas (mean, stderr, 95% CI over replica means; see Metric).
+	// 0 means unset and normalizes to 1 — a single-run campaign whose
+	// keys and output are identical to a spec without the field.
+	// Negative values and values above MaxRepeats are rejected.
+	Repeats int `json:"repeats,omitempty"`
 }
+
+// MaxRepeats bounds the Repeats axis. The limit keeps a typo'd spec
+// from expanding a campaign into millions of units; genuinely larger
+// studies should shard across campaigns instead.
+const MaxRepeats = 1000
 
 // Geometry places one campaign cell's session: a host region plus a
 // receiver pool. Exactly one of Zone or Receivers must be set; the
@@ -133,18 +147,43 @@ func (c Campaign) Validate() error {
 	return err
 }
 
-// UnitKeys returns the canonical key of every cell in expansion order.
+// UnitKeys returns the canonical key of every schedulable unit in
+// expansion order: one key per cell for a single-run campaign, and
+// Repeats consecutive "<cellKey>/rep=K" keys per cell for a replicated
+// one (cell-major, replicas innermost).
 func (c Campaign) UnitKeys() ([]string, error) {
 	rc, err := c.resolve()
 	if err != nil {
 		return nil, err
 	}
 	cells := rc.cells()
-	keys := make([]string, len(cells))
-	for i, cl := range cells {
-		keys[i] = cl.key
+	keys := make([]string, 0, len(cells)*rc.repeats)
+	for _, cl := range cells {
+		keys = append(keys, rc.unitKeys(cl)...)
 	}
 	return keys, nil
+}
+
+// replicaKey appends the replica segment to a cell's canonical key.
+// Replicas are ordinary units: the key derives the shard seed, names
+// the memo/store entry and routes the unit across the worker fleet, so
+// each replica is computed once and distributed like any other cell.
+func replicaKey(cellKey string, k int) string {
+	return fmt.Sprintf("%s/rep=%d", cellKey, k)
+}
+
+// unitKeys expands one cell into its schedulable unit keys. A
+// single-run campaign keeps the bare cell key — no "rep=0" segment —
+// so Repeats: 1 campaigns share stored units with historical runs.
+func (rc *resolvedCampaign) unitKeys(c campaignCell) []string {
+	if rc.repeats <= 1 {
+		return []string{c.key}
+	}
+	out := make([]string, rc.repeats)
+	for k := range out {
+		out[k] = replicaKey(c.key, k)
+	}
+	return out
 }
 
 // resolvedGeometry is a Geometry with regions looked up.
@@ -189,6 +228,7 @@ type resolvedCampaign struct {
 	audio     []bool
 	netem     []Netem
 	traces    []resolvedTrace
+	repeats   int
 }
 
 // campaignCell is one fully-specified grid point.
@@ -377,6 +417,17 @@ func (c Campaign) resolve() (*resolvedCampaign, error) {
 				return nil, fmt.Errorf("campaign: netem %q cannot combine with a trace axis; encode loss and caps in the trace steps", ne.Name)
 			}
 		}
+	}
+
+	rc.repeats = c.Repeats
+	if rc.repeats == 0 {
+		rc.repeats = 1
+	}
+	if rc.repeats < 0 {
+		return nil, fmt.Errorf("campaign: repeats %d < 0", c.Repeats)
+	}
+	if rc.repeats > MaxRepeats {
+		return nil, fmt.Errorf("campaign: repeats %d exceeds the limit of %d", c.Repeats, MaxRepeats)
 	}
 
 	// Duplicate axis values collide in the memo table: reject them.
@@ -613,6 +664,16 @@ func runCell(stb *Testbed, c campaignCell, sc Scale) *QoEStudyResult {
 // Metric summarizes one sample of a cell result. A nil Metric (absent
 // in JSON) means the cell collected no observations for that signal —
 // e.g. MOS with audio off — never a zero-filled summary.
+//
+// On the aggregated metrics of a replicated cell (Campaign.Repeats > 1)
+// the summary pools every replica's observations (N counts the pooled
+// total) and the replication fields are set: Reps is the number of
+// replicas that contributed data, and StdErr/CI95 are the standard
+// error and 95% confidence half-width of the mean computed over the
+// per-replica means (stats.Sample.StdErr/CI95 — a z-interval, see
+// there for the formula). Both pointers are nil when the spread is
+// undefined (fewer than two contributing replicas), mirroring the nil-
+// Metric contract: absent, never NaN, rendered "-".
 type Metric struct {
 	N    int     `json:"n"`
 	Mean float64 `json:"mean"`
@@ -621,6 +682,10 @@ type Metric struct {
 	P50  float64 `json:"p50"`
 	P75  float64 `json:"p75"`
 	Max  float64 `json:"max"`
+
+	Reps   int      `json:"reps,omitempty"`
+	StdErr *float64 `json:"stderr,omitempty"`
+	CI95   *float64 `json:"ci95,omitempty"`
 }
 
 func metricOf(s *stats.Sample) *Metric {
@@ -636,6 +701,60 @@ func metricOf(s *stats.Sample) *Metric {
 		P75:  s.Quantile(0.75),
 		Max:  s.Max(),
 	}
+}
+
+// replicatedMetric aggregates one signal across a cell's replicas:
+// observations pool into the headline summary, and the replication
+// fields come from the per-replica means. Replicas with no data for
+// the signal — nil, empty, or all-NaN samples — are skipped rather
+// than poisoning the aggregate; nil when no replica contributed.
+func replicatedMetric(samples []*stats.Sample) *Metric {
+	pooled := &stats.Sample{}
+	means := &stats.Sample{}
+	for _, s := range samples {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		rep := stats.NewSample(s.Len())
+		for _, x := range s.Values() {
+			if !math.IsNaN(x) {
+				rep.Add(x)
+			}
+		}
+		if rep.Len() == 0 {
+			continue
+		}
+		pooled.AddAll(rep.Values())
+		means.Add(rep.Mean())
+	}
+	m := metricOf(pooled)
+	if m == nil {
+		return nil
+	}
+	m.Reps = means.Len()
+	if se := means.StdErr(); !math.IsNaN(se) {
+		ci := means.CI95()
+		m.StdErr = &se
+		m.CI95 = &ci
+	}
+	return m
+}
+
+// metricSlots pairs each QoE signal's sample with its Metric field on
+// CellResult and CellReplica, so replication aggregates every signal
+// through one loop instead of seven hand-written blocks.
+var metricSlots = []struct {
+	sample func(*QoEStudyResult) *stats.Sample
+	cell   func(*CellResult) **Metric
+	rep    func(*CellReplica) **Metric
+}{
+	{func(q *QoEStudyResult) *stats.Sample { return q.PSNR }, func(c *CellResult) **Metric { return &c.PSNR }, func(r *CellReplica) **Metric { return &r.PSNR }},
+	{func(q *QoEStudyResult) *stats.Sample { return q.SSIM }, func(c *CellResult) **Metric { return &c.SSIM }, func(r *CellReplica) **Metric { return &r.SSIM }},
+	{func(q *QoEStudyResult) *stats.Sample { return q.VIFP }, func(c *CellResult) **Metric { return &c.VIFP }, func(r *CellReplica) **Metric { return &r.VIFP }},
+	{func(q *QoEStudyResult) *stats.Sample { return q.Freeze }, func(c *CellResult) **Metric { return &c.Freeze }, func(r *CellReplica) **Metric { return &r.Freeze }},
+	{func(q *QoEStudyResult) *stats.Sample { return q.UpMbps }, func(c *CellResult) **Metric { return &c.UpMbps }, func(r *CellReplica) **Metric { return &r.UpMbps }},
+	{func(q *QoEStudyResult) *stats.Sample { return q.DownMbps }, func(c *CellResult) **Metric { return &c.DownMbps }, func(r *CellReplica) **Metric { return &r.DownMbps }},
+	{func(q *QoEStudyResult) *stats.Sample { return q.MOS }, func(c *CellResult) **Metric { return &c.MOS }, func(r *CellReplica) **Metric { return &r.MOS }},
 }
 
 // CellResult is one grid point's outcome: its axis coordinates, the
@@ -663,10 +782,33 @@ type CellResult struct {
 
 	// RateOverTime is the mean per-receiver downlink rate over session
 	// time — present only for trace-driven cells, where it makes each
-	// platform's disturbance response and recovery inspectable.
+	// platform's disturbance response and recovery inspectable. For a
+	// replicated cell the series is the bin-wise mean across replicas.
 	RateOverTime []RatePoint `json:"rate_over_time,omitempty"`
 
+	// Replicas holds each replica's own metric summaries, in replica
+	// order — present only for replicated cells (Campaign.Repeats > 1),
+	// where it exposes the per-run values behind the aggregated ±CI.
+	Replicas []CellReplica `json:"replicas,omitempty"`
+
+	// Raw retains the full study result (the first replica's, for
+	// replicated cells); it is not serialized.
 	Raw *QoEStudyResult `json:"-"`
+}
+
+// CellReplica is one replica's view of a replicated cell: its unit key
+// ("<cellKey>/rep=K") and per-signal summaries. Replica metrics never
+// carry replication fields — there is nothing to aggregate within one
+// run.
+type CellReplica struct {
+	Key      string  `json:"key"`
+	PSNR     *Metric `json:"psnr,omitempty"`
+	SSIM     *Metric `json:"ssim,omitempty"`
+	VIFP     *Metric `json:"vifp,omitempty"`
+	Freeze   *Metric `json:"freeze,omitempty"`
+	UpMbps   *Metric `json:"up_mbps,omitempty"`
+	DownMbps *Metric `json:"down_mbps,omitempty"`
+	MOS      *Metric `json:"mos,omitempty"`
 }
 
 // RatePoint is one bin of a cell's rate-over-time series.
@@ -689,15 +831,48 @@ func ratePoints(q *QoEStudyResult) []RatePoint {
 	return out
 }
 
+// meanRatePoints averages the replicas' rate-over-time series bin by
+// bin. All replicas of a cell share the bin width; should their series
+// lengths differ (sessions ending mid-bin), each bin averages only the
+// replicas that recorded it.
+func meanRatePoints(qs []*QoEStudyResult) []RatePoint {
+	maxLen := 0
+	for _, q := range qs {
+		if len(q.RateOverTime) > maxLen {
+			maxLen = len(q.RateOverTime)
+		}
+	}
+	if maxLen == 0 {
+		return nil
+	}
+	bin := qs[0].RateBin.Seconds()
+	out := make([]RatePoint, maxLen)
+	for i := range out {
+		sum, n := 0.0, 0
+		for _, q := range qs {
+			if i < len(q.RateOverTime) {
+				sum += q.RateOverTime[i]
+				n++
+			}
+		}
+		out[i] = RatePoint{AtSec: float64(i) * bin, DownMbps: sum / float64(n)}
+	}
+	return out
+}
+
 // CampaignResult aggregates a campaign run. Cells appear in expansion
 // order; for a given spec, scale and seed the JSON encoding is
 // byte-identical at any worker count.
 type CampaignResult struct {
-	Name        string       `json:"name"`
-	Description string       `json:"description,omitempty"`
-	Scale       string       `json:"scale"`
-	Seed        int64        `json:"seed"`
-	Cells       []CellResult `json:"cells"`
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Scale       string `json:"scale"`
+	Seed        int64  `json:"seed"`
+	// Repeats is the replication factor, recorded only when it exceeds
+	// 1 so that single-run results stay byte-identical to pre-
+	// replication output.
+	Repeats int          `json:"repeats,omitempty"`
+	Cells   []CellResult `json:"cells"`
 }
 
 // Cell returns the cell with the given canonical unit key, or nil.
@@ -719,10 +894,13 @@ func (r *CampaignResult) mustCell(key string) *CellResult {
 	return c
 }
 
-// RunCampaign expands the spec and executes every cell through the
-// memo-aware scheduler: each cell runs on a testbed forked from its
+// RunCampaign expands the spec and executes every unit through the
+// memo-aware scheduler: each unit runs on a testbed forked from its
 // canonical key, so results depend only on (seed, key) and campaigns
-// sharing cell keys (fig12/fig14/fig15) share computed units.
+// sharing cell keys (fig12/fig14/fig15) share computed units. A
+// replicated campaign (Repeats > 1) schedules Repeats independent
+// replica units per cell — fanned across workers and persisted in the
+// store exactly like cells — and aggregates them into each CellResult.
 func RunCampaign(tb *Testbed, spec Campaign, sc Scale) (*CampaignResult, error) {
 	rc, err := spec.resolve()
 	if err != nil {
@@ -736,16 +914,19 @@ func RunCampaign(tb *Testbed, spec Campaign, sc Scale) (*CampaignResult, error) 
 		return nil, err
 	}
 	cells := rc.cells()
-	keys := make([]string, len(cells))
-	for i, c := range cells {
-		keys[i] = c.key
+	reps := rc.repeats
+	keys := make([]string, 0, len(cells)*reps)
+	for _, c := range cells {
+		keys = append(keys, rc.unitKeys(c)...)
 	}
-	// The remote tier (nil without a dispatcher) offers cells the memo
-	// and store don't hold to the worker fleet; unserved cells fall
+	// The remote tier (nil without a dispatcher) offers units the memo
+	// and store don't hold to the worker fleet; unserved units fall
 	// back to the local scheduler below, so fleet topology and failures
-	// never reach the merged result.
+	// never reach the merged result. Unit i belongs to cell i/reps
+	// (cell-major key layout); the cell's axes are shared by all its
+	// replicas while the per-unit key alone differentiates their seeds.
 	res := tb.runMemoized(sc, rc.salt(), keys, func(stb *Testbed, i int) any {
-		return runCell(stb, cells[i], sc)
+		return runCell(stb, cells[i/reps], sc)
 	}, tb.remoteRunner(spec, sc))
 	out := &CampaignResult{
 		Name:        spec.Name,
@@ -754,28 +935,53 @@ func RunCampaign(tb *Testbed, spec Campaign, sc Scale) (*CampaignResult, error) 
 		Seed:        tb.Seed(),
 		Cells:       make([]CellResult, len(cells)),
 	}
+	if reps > 1 {
+		out.Repeats = reps
+	}
 	for i, c := range cells {
-		q := res[i].(*QoEStudyResult)
-		out.Cells[i] = CellResult{
-			Key:          c.key,
-			Platform:     string(c.kind),
-			Geometry:     c.geom.name,
-			Motion:       c.motion.String(),
-			N:            c.n,
-			CapBps:       c.capBps,
-			Audio:        c.audio,
-			Netem:        c.netem.Name,
-			Trace:        c.trace.name,
-			PSNR:         metricOf(q.PSNR),
-			SSIM:         metricOf(q.SSIM),
-			VIFP:         metricOf(q.VIFP),
-			Freeze:       metricOf(q.Freeze),
-			UpMbps:       metricOf(q.UpMbps),
-			DownMbps:     metricOf(q.DownMbps),
-			MOS:          metricOf(q.MOS),
-			RateOverTime: ratePoints(q),
-			Raw:          q,
+		cr := CellResult{
+			Key:      c.key,
+			Platform: string(c.kind),
+			Geometry: c.geom.name,
+			Motion:   c.motion.String(),
+			N:        c.n,
+			CapBps:   c.capBps,
+			Audio:    c.audio,
+			Netem:    c.netem.Name,
+			Trace:    c.trace.name,
 		}
+		if reps == 1 {
+			q := res[i].(*QoEStudyResult)
+			cr.PSNR = metricOf(q.PSNR)
+			cr.SSIM = metricOf(q.SSIM)
+			cr.VIFP = metricOf(q.VIFP)
+			cr.Freeze = metricOf(q.Freeze)
+			cr.UpMbps = metricOf(q.UpMbps)
+			cr.DownMbps = metricOf(q.DownMbps)
+			cr.MOS = metricOf(q.MOS)
+			cr.RateOverTime = ratePoints(q)
+			cr.Raw = q
+		} else {
+			qs := make([]*QoEStudyResult, reps)
+			for k := range qs {
+				qs[k] = res[i*reps+k].(*QoEStudyResult)
+			}
+			cr.Replicas = make([]CellReplica, reps)
+			for k := range cr.Replicas {
+				cr.Replicas[k].Key = replicaKey(c.key, k)
+			}
+			samples := make([]*stats.Sample, reps)
+			for _, slot := range metricSlots {
+				for k, q := range qs {
+					samples[k] = slot.sample(q)
+					*slot.rep(&cr.Replicas[k]) = metricOf(samples[k])
+				}
+				*slot.cell(&cr) = replicatedMetric(samples)
+			}
+			cr.RateOverTime = meanRatePoints(qs)
+			cr.Raw = qs[0]
+		}
+		out.Cells[i] = cr
 	}
 	return out, nil
 }
@@ -792,16 +998,30 @@ func mustRunCampaign(tb *Testbed, spec Campaign, sc Scale) *CampaignResult {
 
 // RenderTable flattens the campaign into one row per cell with mean
 // metric values — the generic text view for grids that have no bespoke
-// figure renderer. Cells without a signal render "-".
+// figure renderer. Cells without a signal render "-". Replicated
+// campaigns render every metric as "mean ±ci" (the 95% confidence
+// half-width over replica means; "±-" when undefined) and note the
+// replication factor in the title.
 func (r *CampaignResult) RenderTable() *report.Table {
+	title := fmt.Sprintf("campaign %s (scale=%s, seed=%d)", r.Name, r.Scale, r.Seed)
+	if r.Repeats > 1 {
+		title = fmt.Sprintf("campaign %s (scale=%s, seed=%d, repeats=%d)", r.Name, r.Scale, r.Seed, r.Repeats)
+	}
 	t := &report.Table{
-		Title: fmt.Sprintf("campaign %s (scale=%s, seed=%d)", r.Name, r.Scale, r.Seed),
+		Title: title,
 		Header: []string{"platform", "geometry", "motion", "N", "cap", "audio", "netem", "trace",
 			"PSNR", "SSIM", "VIFp", "freeze", "up Mbps", "down Mbps", "MOS"},
 	}
 	mean := func(m *Metric) any {
 		if m == nil {
 			return "-"
+		}
+		if r.Repeats > 1 {
+			ci := math.NaN()
+			if m.CI95 != nil {
+				ci = *m.CI95
+			}
+			return report.PlusMinus(m.Mean, ci)
 		}
 		return m.Mean
 	}

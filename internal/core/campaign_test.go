@@ -2,10 +2,13 @@ package core
 
 import (
 	"bytes"
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 
 	"github.com/vcabench/vcabench/internal/report"
+	"github.com/vcabench/vcabench/internal/stats"
 	"github.com/vcabench/vcabench/internal/store"
 	"github.com/vcabench/vcabench/internal/trace"
 )
@@ -574,5 +577,297 @@ func TestCampaignTraceDeterminism(t *testing.T) {
 	}
 	if d.calls.Load() != 6 {
 		t.Errorf("dispatcher saw %d units, want 6", d.calls.Load())
+	}
+}
+
+// repGrid is a small replicated campaign: two cells × three replicas.
+func repGrid() Campaign {
+	return Campaign{
+		Name:       "repgrid",
+		Platforms:  []string{"zoom", "meet"},
+		Geometries: []Geometry{{Host: "US-East", Receivers: []string{"US-East2"}}},
+		Motions:    []string{"high-motion"},
+		Repeats:    3,
+	}
+}
+
+// Replica units key cell-major with a trailing canonical rep segment;
+// Repeats 0 and 1 keep the bare historical cell keys.
+func TestCampaignRepeatsKeys(t *testing.T) {
+	keys, err := repGrid().UnitKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"repgrid/zoom/rep=0", "repgrid/zoom/rep=1", "repgrid/zoom/rep=2",
+		"repgrid/meet/rep=0", "repgrid/meet/rep=1", "repgrid/meet/rep=2",
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("key %d = %q, want %q", i, keys[i], want[i])
+		}
+	}
+	for _, repeats := range []int{0, 1} {
+		spec := repGrid()
+		spec.Repeats = repeats
+		keys, err := spec.UnitKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(keys) != 2 || keys[0] != "repgrid/zoom" || keys[1] != "repgrid/meet" {
+			t.Errorf("repeats=%d keys = %v, want bare cell keys", repeats, keys)
+		}
+	}
+}
+
+func TestCampaignRepeatsValidation(t *testing.T) {
+	for _, c := range []struct {
+		repeats int
+		want    string // error substring; "" means valid
+	}{
+		{0, ""},
+		{1, ""},
+		{MaxRepeats, ""},
+		{-1, "repeats -1 < 0"},
+		{MaxRepeats + 1, "exceeds the limit"},
+	} {
+		spec := Campaign{Name: "x", Repeats: c.repeats}
+		err := spec.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("repeats=%d rejected: %v", c.repeats, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("repeats=%d: error %v does not mention %q", c.repeats, err, c.want)
+		}
+	}
+	// The same bounds hold for parsed specs.
+	if _, err := ParseCampaign([]byte(`{"name": "x", "repeats": -2}`)); err == nil {
+		t.Error("negative repeats accepted at parse time")
+	}
+	if _, err := ParseCampaign([]byte(`{"name": "x", "repeats": 1000000}`)); err == nil {
+		t.Error("oversized repeats accepted at parse time")
+	}
+}
+
+// A spec with Repeats 1 (or unset) must not change output at all: same
+// JSON bytes, no repeats header, no replicas blocks.
+func TestCampaignRepeatsOneByteIdentical(t *testing.T) {
+	render := func(repeats int) []byte {
+		spec := detCampaign()
+		spec.Repeats = repeats
+		res, err := RunCampaign(NewTestbed(42), spec, TinyScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	unset := render(0)
+	one := render(1)
+	if !bytes.Equal(unset, one) {
+		t.Error("Repeats: 1 output differs from an unset spec")
+	}
+	if bytes.Contains(unset, []byte(`"repeats"`)) || bytes.Contains(unset, []byte(`"replicas"`)) {
+		t.Error("single-run JSON grew replication fields")
+	}
+	if bytes.Contains(unset, []byte(`"rep=`)) {
+		t.Error("single-run JSON carries replica key segments")
+	}
+}
+
+// The aggregation contract of a replicated cell: pooled summaries over
+// all replica observations, replication fields over replica means, and
+// per-replica summaries exposed in order.
+func TestCampaignReplicatedAggregation(t *testing.T) {
+	res, err := RunCampaign(NewTestbed(7), repGrid(), TinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repeats != 3 {
+		t.Fatalf("result repeats = %d, want 3", res.Repeats)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2 (replicas must not become cells)", len(res.Cells))
+	}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		if len(c.Replicas) != 3 {
+			t.Fatalf("cell %s has %d replicas", c.Key, len(c.Replicas))
+		}
+		for k, rep := range c.Replicas {
+			if want := c.Key + "/rep=" + strconv.Itoa(k); rep.Key != want {
+				t.Errorf("replica key = %q, want %q", rep.Key, want)
+			}
+			if rep.PSNR == nil {
+				t.Fatalf("replica %s missing PSNR", rep.Key)
+			}
+			if rep.PSNR.Reps != 0 || rep.PSNR.StdErr != nil || rep.PSNR.CI95 != nil {
+				t.Errorf("replica %s metric carries aggregation fields", rep.Key)
+			}
+		}
+		// Replicas run on independent key-derived seeds: equal means
+		// across all three would mean the rep segment is not reaching
+		// the fork seed.
+		if c.Replicas[0].PSNR.Mean == c.Replicas[1].PSNR.Mean &&
+			c.Replicas[1].PSNR.Mean == c.Replicas[2].PSNR.Mean {
+			t.Errorf("cell %s replicas are identical", c.Key)
+		}
+		m := c.PSNR
+		if m == nil {
+			t.Fatalf("cell %s missing aggregated PSNR", c.Key)
+		}
+		pooled, lo, hi := 0, c.Replicas[0].PSNR.Mean, c.Replicas[0].PSNR.Mean
+		for _, rep := range c.Replicas {
+			pooled += rep.PSNR.N
+			if rep.PSNR.Mean < lo {
+				lo = rep.PSNR.Mean
+			}
+			if rep.PSNR.Mean > hi {
+				hi = rep.PSNR.Mean
+			}
+		}
+		if m.N != pooled {
+			t.Errorf("cell %s pooled N = %d, want %d", c.Key, m.N, pooled)
+		}
+		if m.Reps != 3 {
+			t.Errorf("cell %s reps = %d, want 3", c.Key, m.Reps)
+		}
+		if m.StdErr == nil || m.CI95 == nil {
+			t.Fatalf("cell %s missing stderr/ci95", c.Key)
+		}
+		if got, want := *m.CI95, 1.96*(*m.StdErr); got != want {
+			t.Errorf("cell %s ci95 = %v, want 1.96*stderr = %v", c.Key, got, want)
+		}
+		if m.Mean < lo || m.Mean > hi {
+			t.Errorf("cell %s pooled mean %v outside replica-mean range [%v, %v]", c.Key, m.Mean, lo, hi)
+		}
+		// Audio is off: no replica has MOS, so the aggregate must stay
+		// nil rather than becoming a zero-filled metric.
+		if c.MOS != nil {
+			t.Errorf("cell %s grew a MOS aggregate without audio", c.Key)
+		}
+		if c.Raw == nil {
+			t.Errorf("cell %s lost its raw study result", c.Key)
+		}
+	}
+	// The rendered table reports ±CI and the replication factor.
+	out := res.RenderTable().String()
+	if !strings.Contains(out, "repeats=3") || !strings.Contains(out, "±") {
+		t.Errorf("replicated table missing ±CI chrome:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into replicated table:\n%s", out)
+	}
+}
+
+// replicatedMetric's edge cases: replicas without data — nil, empty or
+// all-NaN samples — are skipped; a single surviving replica keeps its
+// summary but has undefined spread.
+func TestReplicatedMetricEdgeCases(t *testing.T) {
+	sample := func(xs ...float64) *stats.Sample {
+		s := &stats.Sample{}
+		s.AddAll(xs)
+		return s
+	}
+	if m := replicatedMetric(nil); m != nil {
+		t.Errorf("no replicas aggregated to %+v", m)
+	}
+	if m := replicatedMetric([]*stats.Sample{nil, {}, sample(math.NaN(), math.NaN())}); m != nil {
+		t.Errorf("dataless replicas aggregated to %+v", m)
+	}
+	m := replicatedMetric([]*stats.Sample{nil, sample(1, 2, 3)})
+	if m == nil || m.Reps != 1 || m.N != 3 {
+		t.Fatalf("single-replica aggregate = %+v", m)
+	}
+	if m.StdErr != nil || m.CI95 != nil {
+		t.Errorf("single replica has defined spread: %+v", m)
+	}
+	// NaN observations inside an otherwise healthy replica are dropped,
+	// not pooled.
+	m = replicatedMetric([]*stats.Sample{sample(1, math.NaN()), sample(3)})
+	if m == nil || m.N != 2 || m.Reps != 2 {
+		t.Fatalf("NaN-bearing aggregate = %+v", m)
+	}
+	if m.Mean != 2 {
+		t.Errorf("pooled mean = %v, want 2", m.Mean)
+	}
+	if m.StdErr == nil || math.IsNaN(*m.StdErr) {
+		t.Errorf("two replicas should define stderr: %+v", m)
+	}
+}
+
+// The acceptance matrix for replicated campaigns: byte-identical JSON
+// across worker counts, cold vs warm store (each replica an
+// independent store unit), and local vs dispatched execution.
+func TestCampaignReplicatedDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	render := func(workers int, withStore bool, d Dispatcher) ([]byte, store.Stats) {
+		tb := NewTestbed(42).SetParallelism(workers)
+		var st *store.Store
+		if withStore {
+			var err error
+			if st, err = store.Open(dir); err != nil {
+				t.Fatal(err)
+			}
+			tb.WithStore(st)
+		}
+		if d != nil {
+			tb.WithDispatcher(d)
+		}
+		res, err := RunCampaign(tb, repGrid(), TinyScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.StoreErr(); err != nil {
+			t.Fatal(err)
+		}
+		var stats store.Stats
+		if st != nil {
+			stats = st.Stats()
+		}
+		return buf.Bytes(), stats
+	}
+
+	serial, _ := render(1, false, nil)
+	parallel, _ := render(8, false, nil)
+	if !bytes.Equal(serial, parallel) {
+		t.Error("replicated campaign differs between 1 and 8 workers")
+	}
+
+	cold, coldStats := render(4, true, nil)
+	warm, warmStats := render(2, true, nil)
+	if !bytes.Equal(serial, cold) {
+		t.Error("stored replicated run differs from plain run")
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm replicated rerun differs from cold")
+	}
+	if coldStats.Hits() != 0 || coldStats.Puts != 6 {
+		t.Errorf("cold stats = %+v (want one put per replica unit)", coldStats)
+	}
+	if warmStats.Misses != 0 || warmStats.Puts != 0 || warmStats.Hits() != 6 {
+		t.Errorf("warm stats = %+v (want one hit per replica unit)", warmStats)
+	}
+
+	d := &workerDispatcher{}
+	dist, _ := render(4, false, d)
+	if !bytes.Equal(serial, dist) {
+		t.Error("dispatched replicated campaign differs from local run")
+	}
+	if d.calls.Load() != 6 {
+		t.Errorf("dispatcher saw %d units, want one per replica (6)", d.calls.Load())
 	}
 }

@@ -36,7 +36,10 @@ type CellStore interface {
 // Bump it whenever QoEStudyResult, LagStudyResult or any type they
 // embed changes shape: old entries then miss instead of mis-decoding.
 // v2: QoEStudyResult gained the RateOverTime/RateBin series.
-const cellSchemaVersion = 2
+// v3: the replication refactor — campaign salts cover the Repeats
+// axis and replicated campaigns store per-replica "<cellKey>/rep=K"
+// units alongside bare cell keys.
+const cellSchemaVersion = 3
 
 func init() {
 	// Unit results are persisted as a gob interface value so one codec

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // This file is the dispatch seam of the campaign engine — the
@@ -82,12 +84,32 @@ func (tb *Testbed) remoteRunner(spec Campaign, sc Scale) func(key string) (any, 
 	}
 }
 
-// RunCampaignUnit executes exactly one cell of a campaign spec and
-// returns its canonical encoding — the worker half of distributed
-// execution, behind vcabenchd's POST /units endpoint. The cell runs on
+// replicaBase splits a replica unit key into its cell key, requiring
+// the canonical form "<cellKey>/rep=K" with K in [0, repeats) and no
+// leading zeros or signs — a non-canonical spelling ("rep=007",
+// "rep=+1") must not alias a canonical unit, because the key derives
+// the shard seed and names the store entry. ok is false when the key
+// carries no well-formed replica segment for the given factor.
+func replicaBase(key string, repeats int) (base string, ok bool) {
+	i := strings.LastIndex(key, "/rep=")
+	if i < 0 {
+		return "", false
+	}
+	num := key[i+len("/rep="):]
+	k, err := strconv.Atoi(num)
+	if err != nil || strconv.Itoa(k) != num || k < 0 || k >= repeats {
+		return "", false
+	}
+	return key[:i], true
+}
+
+// RunCampaignUnit executes exactly one unit of a campaign spec — a
+// cell, or one "<cellKey>/rep=K" replica of a replicated campaign —
+// and returns its canonical encoding: the worker half of distributed
+// execution, behind vcabenchd's POST /units endpoint. The unit runs on
 // a fork seeded from (tb seed, key) exactly as a local campaign run
 // would, so the returned bytes decode to the same value a
-// single-machine run computes. When tb carries a store, the cell is
+// single-machine run computes. When tb carries a store, the unit is
 // looked up before computing and persisted after, sharing the worker's
 // cache with its own campaigns and with repeated unit requests.
 //
@@ -99,10 +121,22 @@ func RunCampaignUnit(tb *Testbed, spec Campaign, sc Scale, key string) ([]byte, 
 	if err != nil {
 		return nil, err
 	}
+	// A replicated campaign schedules only replica keys, a single-run
+	// campaign only bare cell keys; the two key shapes never mix for
+	// one spec, so the replica segment is required exactly when
+	// repeats > 1.
+	cellKey := key
+	if rc.repeats > 1 {
+		base, ok := replicaBase(key, rc.repeats)
+		if !ok {
+			return nil, fmt.Errorf("core: campaign %q (repeats=%d) has no unit %q", rc.name, rc.repeats, key)
+		}
+		cellKey = base
+	}
 	cells := rc.cells()
 	var cell *campaignCell
 	for i := range cells {
-		if cells[i].key == key {
+		if cells[i].key == cellKey {
 			cell = &cells[i]
 			break
 		}

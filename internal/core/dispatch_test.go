@@ -223,3 +223,62 @@ func (s *mapStore) Put(key string, data []byte) error {
 	s.m[key] = cp
 	return nil
 }
+
+// replicaBase accepts exactly the canonical replica spellings: any
+// alias ("rep=007", "rep=+1", out-of-range K) would give one unit two
+// store keys and two shard seeds.
+func TestReplicaBase(t *testing.T) {
+	cases := []struct {
+		key     string
+		repeats int
+		base    string
+		ok      bool
+	}{
+		{"seam/zoom/rep=0", 3, "seam/zoom", true},
+		{"seam/zoom/rep=2", 3, "seam/zoom", true},
+		{"seam/zoom/rep=3", 3, "", false},  // out of range
+		{"seam/zoom/rep=-1", 3, "", false}, // negative
+		{"seam/zoom/rep=007", 8, "", false},
+		{"seam/zoom/rep=+1", 8, "", false},
+		{"seam/zoom/rep=1x", 8, "", false},
+		{"seam/zoom/rep=", 8, "", false},
+		{"seam/zoom", 3, "", false},                 // no replica segment
+		{"seam/rep=1/rep=1", 2, "seam/rep=1", true}, // only the last segment splits
+	}
+	for _, c := range cases {
+		base, ok := replicaBase(c.key, c.repeats)
+		if ok != c.ok || base != c.base {
+			t.Errorf("replicaBase(%q, %d) = (%q, %v), want (%q, %v)",
+				c.key, c.repeats, base, ok, c.base, c.ok)
+		}
+	}
+}
+
+// The worker half runs replica units: distinct replicas of one cell
+// produce distinct bytes (independent seeds), bare cell keys are
+// rejected for replicated specs, and replica keys are rejected for
+// single-run specs.
+func TestRunCampaignUnitReplicas(t *testing.T) {
+	spec := dispatchGrid
+	spec.Repeats = 2
+	rep0, err := RunCampaignUnit(NewTestbed(42), spec, TinyScale, "seam/zoom/2/rep=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := RunCampaignUnit(NewTestbed(42), spec, TinyScale, "seam/zoom/2/rep=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(rep0, rep1) {
+		t.Error("two replicas of one cell computed identical bytes")
+	}
+	if _, err := RunCampaignUnit(NewTestbed(42), spec, TinyScale, "seam/zoom/2"); err == nil {
+		t.Error("bare cell key accepted for a replicated spec")
+	}
+	if _, err := RunCampaignUnit(NewTestbed(42), spec, TinyScale, "seam/zoom/2/rep=2"); err == nil {
+		t.Error("out-of-range replica accepted")
+	}
+	if _, err := RunCampaignUnit(NewTestbed(42), dispatchGrid, TinyScale, "seam/zoom/2/rep=0"); err == nil {
+		t.Error("replica key accepted for a single-run spec")
+	}
+}

@@ -23,6 +23,10 @@ func FuzzParseCampaign(f *testing.F) {
 	f.Add([]byte(`{"name": "x", "sizes": [1]}`))
 	f.Add([]byte(`{"name": ""}`))
 	f.Add([]byte(`{"name": "x"}{"name": "y"}`))
+	f.Add([]byte(`{"name": "r", "platforms": ["zoom", "meet"], "repeats": 3}`))
+	f.Add([]byte(`{"name": "r1", "repeats": 1}`))
+	f.Add([]byte(`{"name": "r-", "repeats": -1}`))
+	f.Add([]byte(`{"name": "rbig", "repeats": 999999999}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec, err := ParseCampaign(data)

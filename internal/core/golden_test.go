@@ -76,6 +76,36 @@ func TestGoldenTraceCampaign(t *testing.T) {
 	checkGolden(t, "trace_campaign.json", buf.Bytes())
 }
 
+// goldenReplicatedCampaign exercises the replication axis: a two-cell
+// grid at Repeats 3, locking in the "rep=K" aggregation — pooled
+// metric summaries, stderr/ci95 fields, the replicas JSON block and
+// the ±CI table rendering.
+func goldenReplicatedCampaign() Campaign {
+	return Campaign{
+		Name:      "golden-rep",
+		Platforms: []string{"zoom", "webex"},
+		Geometries: []Geometry{
+			{Host: "US-East", Receivers: []string{"US-East2"}},
+		},
+		Motions: []string{"high-motion"},
+		Repeats: 3,
+	}
+}
+
+func TestGoldenReplicatedCampaign(t *testing.T) {
+	tb := NewTestbed(42).SetParallelism(2)
+	res, err := RunCampaign(tb, goldenReplicatedCampaign(), TinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "replicated_campaign_table.txt", []byte(res.RenderTable().String()))
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "replicated_campaign.json", buf.Bytes())
+}
+
 // table1 ties the golden layer to a real paper artifact rendered
 // through the experiment registry (campaign engine, memo table,
 // metric summaries and table renderer in one pass).

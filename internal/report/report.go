@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"unicode/utf8"
 
 	"github.com/vcabench/vcabench/internal/stats"
 )
@@ -49,6 +50,18 @@ func trimFloat(v float64) string {
 	return fmt.Sprintf("%.3g", v)
 }
 
+// PlusMinus formats a replicated measurement as "mean ±ci" using the
+// same float trimming as table cells. A NaN mean (absent signal) renders
+// as the bare "-" placeholder; a NaN ci (undefined spread, e.g. a single
+// replica) renders as "mean ±-" so the reader still sees the point
+// estimate while the error term follows the NaN contract.
+func PlusMinus(mean, ci float64) string {
+	if math.IsNaN(mean) {
+		return "-"
+	}
+	return trimFloat(mean) + " ±" + trimFloat(ci)
+}
+
 // Render writes the table with aligned columns.
 func (t *Table) Render(w io.Writer) {
 	if t.Title != "" {
@@ -65,8 +78,8 @@ func (t *Table) Render(w io.Writer) {
 			if i >= len(widths) {
 				widths = append(widths, 0)
 			}
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -120,11 +133,15 @@ func (t *Table) CSV(w io.Writer) {
 	}
 }
 
+// pad right-pads s to w columns. Width is counted in runes, not bytes,
+// so multibyte cells (the "±" of replicated metrics) align with their
+// ASCII neighbors.
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }
 
 // CDFPlot renders one or more labelled CDF curves as ASCII art, with x

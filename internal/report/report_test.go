@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"github.com/vcabench/vcabench/internal/stats"
 )
@@ -194,5 +195,39 @@ func TestTableNoHeader(t *testing.T) {
 	out := tb.String()
 	if strings.Contains(out, "--") {
 		t.Errorf("separator without header:\n%s", out)
+	}
+}
+
+func TestPlusMinus(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		mean, ci float64
+		want     string
+	}{
+		{25.81, 1.13, "25.8 ±1.13"},
+		{1, 0, "1 ±0"},
+		{0.473, 0.0383, "0.473 ±0.0383"},
+		{nan, 1, "-"},          // absent signal: bare placeholder
+		{nan, nan, "-"},        // absent signal trumps absent spread
+		{3.25, nan, "3.25 ±-"}, // defined mean, undefined spread (n=1)
+	}
+	for _, c := range cases {
+		if got := PlusMinus(c.mean, c.ci); got != c.want {
+			t.Errorf("PlusMinus(%v, %v) = %q, want %q", c.mean, c.ci, got, c.want)
+		}
+	}
+}
+
+// Multibyte cells (the ± of replicated metrics) must align by display
+// width, not byte length.
+func TestTableRuneAlignment(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b"}}
+	tbl.AddRow("1 ±2", "x")
+	tbl.AddRow("12345", "y")
+	out := tbl.String()
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if got, want := utf8.RuneCountInString(line), utf8.RuneCountInString("12345  y"); got != want {
+			t.Errorf("line %q is %d runes, want %d", line, got, want)
+		}
 	}
 }

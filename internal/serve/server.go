@@ -110,8 +110,11 @@ func cellIndexKey(scaleName string, seed int64, unitKey string) string {
 // core's gob-encoded cells ("v<N>/seed..."); the version is this JSON
 // framing's, bumped if the rendered cell shape ever changes.
 // v2: CellResult gained the trace label and rate_over_time series.
+// v3: replicated campaigns — CellResult gained the replicas block and
+// metrics gained reps/stderr/ci95 fields; campaign results gained the
+// repeats count.
 func cellStoreKey(scaleName string, seed int64, unitKey string) string {
-	return fmt.Sprintf("servecell/v2/%s/%d/%s", scaleName, seed, unitKey)
+	return fmt.Sprintf("servecell/v3/%s/%d/%s", scaleName, seed, unitKey)
 }
 
 // job is one submitted campaign execution.

@@ -130,6 +130,46 @@ func (s *Sample) Quantile(q float64) float64 {
 // Median returns the 50th percentile.
 func (s *Sample) Median() float64 { return s.Quantile(0.5) }
 
+// SampleStdDev returns the sample (Bessel-corrected, n-1) standard
+// deviation. Unlike StdDev it estimates the spread of the population the
+// observations were drawn from, which is what replication error bars
+// need. It returns NaN when fewer than two observations are recorded:
+// with n=1 the spread is undefined, and NaN flows through the harness's
+// existing absent-signal contract (rendered "-", omitted from JSON).
+func (s *Sample) SampleStdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// StdErr returns the standard error of the mean, SampleStdDev()/sqrt(n).
+// NaN when fewer than two observations are recorded.
+func (s *Sample) StdErr() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	return s.SampleStdDev() / math.Sqrt(float64(n))
+}
+
+// CI95 returns the half-width of a 95% confidence interval for the mean:
+// 1.96 * StdErr(), the normal (z) approximation. For the small replica
+// counts typical of a campaign (n in the single digits) this understates
+// the interval a Student-t critical value would give — the harness trades
+// that bias for a constant that is deterministic and dependency-free.
+// NaN when fewer than two observations are recorded.
+func (s *Sample) CI95() float64 {
+	return 1.96 * s.StdErr()
+}
+
 // GobEncode implements gob.GobEncoder. Observations are encoded as raw
 // IEEE-754 bit patterns in their insertion order: Mean sums in slice
 // order, so preserving both is what lets a decoded Sample reproduce

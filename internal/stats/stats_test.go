@@ -342,3 +342,103 @@ func TestSampleGobDecodeRejectsGarbage(t *testing.T) {
 		t.Error("non-multiple-of-8 payload accepted")
 	}
 }
+
+func TestReplicationStatsSmall(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.SampleStdDev()) || !math.IsNaN(s.StdErr()) || !math.IsNaN(s.CI95()) {
+		t.Error("empty sample must have NaN replication stats")
+	}
+	s.Add(3.5)
+	if !math.IsNaN(s.SampleStdDev()) || !math.IsNaN(s.StdErr()) || !math.IsNaN(s.CI95()) {
+		t.Error("n=1 spread is undefined and must be NaN, not zero")
+	}
+	s.Add(3.5)
+	if got := s.SampleStdDev(); got != 0 {
+		t.Errorf("two equal observations: stddev = %v, want 0", got)
+	}
+	if got := s.CI95(); got != 0 {
+		t.Errorf("two equal observations: ci95 = %v, want 0", got)
+	}
+}
+
+func TestReplicationStatsKnownValues(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Population stddev of this classic set is exactly 2; the sample
+	// (n-1) version is sqrt(32/7).
+	if got := s.StdDev(); got != 2 {
+		t.Errorf("population stddev = %v, want 2", got)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if got := s.SampleStdDev(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("sample stddev = %v, want %v", got, want)
+	}
+	if got, want := s.StdErr(), want/math.Sqrt(8); math.Abs(got-want) > 1e-15 {
+		t.Errorf("stderr = %v, want %v", got, want)
+	}
+	if got, want := s.CI95(), 1.96*s.StdErr(); got != want {
+		t.Errorf("ci95 = %v, want %v", got, want)
+	}
+}
+
+// Property checks across deterministic pseudo-random samples: the
+// Bessel correction keeps SampleStdDev >= StdDev, stderr shrinks as
+// 1/sqrt(n), and shifting a sample leaves its spread alone.
+func TestReplicationStatsProperties(t *testing.T) {
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		// xorshift64*, deterministic across runs.
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return float64(rng%10_000) / 100.0
+	}
+	for n := 2; n <= 64; n *= 2 {
+		var s, shifted Sample
+		for i := 0; i < n; i++ {
+			x := next()
+			s.Add(x)
+			shifted.Add(x + 1e6)
+		}
+		pop, samp := s.StdDev(), s.SampleStdDev()
+		if samp < pop {
+			t.Errorf("n=%d: sample stddev %v < population %v", n, samp, pop)
+		}
+		if want := pop * math.Sqrt(float64(n)/float64(n-1)); math.Abs(samp-want) > 1e-9*want {
+			t.Errorf("n=%d: Bessel relation broken: %v vs %v", n, samp, want)
+		}
+		if got, want := s.StdErr(), samp/math.Sqrt(float64(n)); got != want {
+			t.Errorf("n=%d: stderr = %v, want %v", n, got, want)
+		}
+		if s.CI95() < s.StdErr() {
+			t.Errorf("n=%d: ci95 narrower than one stderr", n)
+		}
+		// Spread is translation-invariant (up to float cancellation at
+		// a 1e6 offset).
+		if d := math.Abs(shifted.SampleStdDev() - samp); d > 1e-6 {
+			t.Errorf("n=%d: shift changed stddev by %v", n, d)
+		}
+	}
+}
+
+// The replication statistics must not disturb the encode order the
+// byte-identity contract rests on: computing them sorts at most the
+// value slice, and a gob round trip still reproduces insertion order.
+func TestReplicationStatsPreserveGob(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{5, 1, 3})
+	before, err := s.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.SampleStdDev()
+	_ = s.StdErr()
+	_ = s.CI95()
+	after, err := s.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("replication statistics disturbed the gob encoding")
+	}
+}

@@ -102,7 +102,11 @@ type (
 	CampaignResult = core.CampaignResult
 	// CellResult is one campaign grid point's outcome.
 	CellResult = core.CellResult
-	// Metric summarizes one sample of a cell result.
+	// CellReplica is one replica's metric summaries within a
+	// replicated cell (Campaign.Repeats > 1).
+	CellReplica = core.CellReplica
+	// Metric summarizes one sample of a cell result; on replicated
+	// cells it carries reps/stderr/ci95 aggregation fields.
 	Metric = core.Metric
 	// CellStore persists encoded campaign-unit results across
 	// processes (see Testbed.WithStore and OpenStore).
@@ -180,6 +184,9 @@ func RunQoEStudy(tb *Testbed, kind platform.Kind, host Region, recvs []Region,
 // cell through the memo-aware scheduler. Results depend only on
 // (tb seed, cell key): for a given spec, scale and seed the result —
 // including its JSON encoding — is byte-identical at any worker count.
+// A replicated campaign (spec.Repeats > 1) runs every cell Repeats
+// times on independent key-derived seeds and reports aggregated
+// statistics (mean, stderr, 95% CI) per metric.
 func RunCampaign(tb *Testbed, spec Campaign, sc Scale) (*CampaignResult, error) {
 	return core.RunCampaign(tb, spec, sc)
 }
