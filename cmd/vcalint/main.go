@@ -1,0 +1,101 @@
+// Command vcalint runs the vcabench determinism analyzers over Go
+// packages in this repository.
+//
+// Usage:
+//
+//	go run ./cmd/vcalint ./...
+//	go run ./cmd/vcalint -list
+//	go run ./cmd/vcalint -only walltime,storekey ./internal/...
+//
+// vcalint type-checks packages with the stdlib source importer, which
+// resolves module-internal imports through the go command; run it from
+// inside the repository. Exit status is 1 when any diagnostic is
+// reported, 2 on a loading or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/vcabench/vcabench/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the registered analyzers and exit")
+	onlyFlag := flag.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vcalint [-list] [-only a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	if *onlyFlag != "" {
+		byName := make(map[string]*lint.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vcalint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, a)
+		}
+		if len(picked) == 0 {
+			fmt.Fprintf(os.Stderr, "vcalint: -only selected no analyzers\n")
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vcalint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadPatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vcalint: %v\n", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.RunAnalyzers(pkg, analyzers) {
+			fmt.Println(d.String())
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "vcalint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

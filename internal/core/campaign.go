@@ -105,6 +105,8 @@ type Geometry struct {
 // loss, a steady downlink cap overriding the CapsBps axis, or a cap
 // fluctuating between two rates (the §6 last-mile extension). Loss
 // composes with either cap mode; the two cap modes are exclusive.
+//
+//vcalint:ignore floatfmt input-side spec decoded from JSON, which cannot encode NaN or infinities
 type Netem struct {
 	// Name labels the condition in unit keys and results.
 	Name string `json:"name,omitempty"`
@@ -674,6 +676,8 @@ func runCell(stb *Testbed, c campaignCell, sc Scale) *QoEStudyResult {
 // there for the formula). Both pointers are nil when the spread is
 // undefined (fewer than two contributing replicas), mirroring the nil-
 // Metric contract: absent, never NaN, rendered "-".
+//
+//vcalint:ignore floatfmt summaries of a non-empty stats.Sample are finite by construction; absence is the nil *Metric, NaN spreads are the nil pointers
 type Metric struct {
 	N    int     `json:"n"`
 	Mean float64 `json:"mean"`
@@ -812,6 +816,8 @@ type CellReplica struct {
 }
 
 // RatePoint is one bin of a cell's rate-over-time series.
+//
+//vcalint:ignore floatfmt bin offsets and mean rates are finite by construction (finite bin width, finite byte counts)
 type RatePoint struct {
 	// AtSec is the bin's start offset from session start, in seconds.
 	AtSec float64 `json:"at_sec"`

@@ -1,0 +1,23 @@
+package core
+
+import "fmt"
+
+// serveCellSchemaVersion versions the daemon's rendered cell-JSON
+// framing, independent of cellSchemaVersion (the gob framing of
+// core's own cells). Bump it whenever the rendered cell shape
+// changes.
+// v2: CellResult gained the trace label and rate_over_time series.
+// v3: replicated campaigns — CellResult gained the replicas block and
+// metrics gained reps/stderr/ci95 fields; campaign results gained the
+// repeats count.
+const serveCellSchemaVersion = 3
+
+// ServeCellKey names a rendered cell-JSON document in the persistent
+// store, so a daemon's /cells lookups survive restarts and MaxJobs
+// eviction. The "servecell" prefix keeps these documents disjoint
+// from core's gob-encoded cells ("v<N>/seed..."). This is the one
+// canonical constructor for that namespace; assembling "servecell/"
+// keys anywhere else is a vcalint storekey violation.
+func ServeCellKey(scaleName string, seed int64, unitKey string) string {
+	return fmt.Sprintf("servecell/v%d/%s/%d/%s", serveCellSchemaVersion, scaleName, seed, unitKey)
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// parentMap records each node's immediate parent within one file —
+// enough ancestry for analyzers to ask "what call am I an argument of"
+// or "what function declares me" without re-walking the file.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(f *ast.File) parentMap {
+	parents := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// enclosingFunc returns the function declaration lexically containing n,
+// or nil at file scope.
+func (p parentMap) enclosingFunc(n ast.Node) *ast.FuncDecl {
+	for cur := n; cur != nil; cur = p[cur] {
+		if fd, ok := cur.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// FloatfmtAnalyzer enforces the float-rendering invariant behind the
+// PR 2 ("NaN" leaking into tables) and PR 6 (shortest-float drift) bug
+// classes, in two parts:
+//
+//  1. No %v (explicit or implicit) and no precision-free %g applied to
+//     a float in a deterministic package. Shortest-representation
+//     formatting renders the last ulp of a computation into output, so
+//     any refactor that changes summation order changes bytes; and
+//     every fmt verb happily prints "NaN". Floats must go through the
+//     repo's helpers (report.Table/trimFloat, PlusMinus) or an explicit
+//     fixed-precision verb (%.3g, %.2f, ...).
+//
+//  2. No json-tagged float64 (or float slice) struct field without a
+//     NaN guard. encoding/json rejects NaN at marshal time, so one NaN
+//     mean turns a finished campaign into an error. Absent signals must
+//     be *float64 nil (rendered as omitted/null), as Metric.StdErr/CI95
+//     are — or the type's construction must provably filter NaN, stated
+//     with a struct-level //vcalint:ignore floatfmt <why finite>.
+var FloatfmtAnalyzer = &Analyzer{
+	Name: "floatfmt",
+	Doc: "forbid %v/bare-%g formatting of floats and unguarded json-tagged float fields " +
+		"in deterministic packages; NaN and last-ulp drift must not reach rendered output",
+	Run: runFloatfmt,
+}
+
+// formattedFuncs maps fmt's formatted variants to their format-string
+// argument index.
+var formattedFuncs = map[string]int{
+	"Printf": 0, "Sprintf": 0, "Errorf": 0,
+	"Fprintf": 1, "Appendf": 1,
+}
+
+// implicitFuncs maps fmt's unformatted variants (implicit %v for every
+// operand) to the index of their first operand.
+var implicitFuncs = map[string]int{
+	"Print": 0, "Println": 0, "Sprint": 0, "Sprintln": 0,
+	"Fprint": 1, "Fprintln": 1, "Append": 1, "Appendln": 1,
+}
+
+func runFloatfmt(pass *Pass) {
+	if !pass.Deterministic {
+		return
+	}
+	for _, f := range pass.Files {
+		checkFloatVerbs(pass, f)
+		checkFloatFields(pass, f)
+	}
+}
+
+func checkFloatVerbs(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isPkg(pass, sel.X, "fmt") {
+			return true
+		}
+		if fi, ok := implicitFuncs[sel.Sel.Name]; ok {
+			for _, arg := range call.Args[min(fi, len(call.Args)):] {
+				if t := floatCarrier(pass.TypesInfo.TypeOf(arg)); t != "" {
+					pass.Reportf(arg.Pos(),
+						"fmt.%s formats a %s with implicit %%v (shortest representation, renders NaN); "+
+							"use an explicit precision verb or the report helpers", sel.Sel.Name, t)
+				}
+			}
+			return true
+		}
+		fi, ok := formattedFuncs[sel.Sel.Name]
+		if !ok || fi >= len(call.Args) {
+			return true
+		}
+		lit, ok := call.Args[fi].(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		args := call.Args[fi+1:]
+		for _, v := range parseVerbs(format) {
+			if v.argIndex >= len(args) {
+				break
+			}
+			bad := v.char == 'v' || ((v.char == 'g' || v.char == 'G') && !v.hasPrec)
+			if !bad {
+				continue
+			}
+			if t := floatCarrier(pass.TypesInfo.TypeOf(args[v.argIndex])); t != "" {
+				pass.Reportf(args[v.argIndex].Pos(),
+					"%%%c formats a %s by shortest representation and renders NaN; "+
+						"use an explicit precision verb (%%.3g, %%.2f) or the report helpers", v.char, t)
+			}
+		}
+		return true
+	})
+}
+
+// fmtVerb is one conversion parsed from a format string, with the index
+// of the operand it consumes.
+type fmtVerb struct {
+	char     byte
+	hasPrec  bool
+	argIndex int
+}
+
+// parseVerbs scans a fmt format string, tracking operand consumption
+// (including the extra operands of * width/precision). Explicit
+// argument indexes (%[n]d) abort the scan — rare enough that those call
+// sites fall back to manual review.
+func parseVerbs(format string) []fmtVerb {
+	var verbs []fmtVerb
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		hasPrec := false
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if c == '[' {
+				return verbs // explicit argument index: give up
+			}
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if c == '.' {
+				hasPrec = true
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0123456789", c) >= 0 {
+				i++
+				continue
+			}
+			// The verb character.
+			verbs = append(verbs, fmtVerb{char: c, hasPrec: hasPrec, argIndex: arg})
+			arg++
+			break
+		}
+	}
+	return verbs
+}
+
+// floatCarrier names the float-valued shape of t ("float64", "[]float64",
+// ...) or returns "" when t cannot carry a float through %v.
+func floatCarrier(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsFloat != 0 {
+			return u.String()
+		}
+	case *types.Slice:
+		if e := floatCarrier(u.Elem()); e != "" {
+			return "[]" + e
+		}
+	case *types.Array:
+		if e := floatCarrier(u.Elem()); e != "" {
+			return "[...]" + e
+		}
+	}
+	return ""
+}
+
+func checkFloatFields(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			if field.Tag == nil || len(field.Names) == 0 {
+				continue
+			}
+			raw, err := strconv.Unquote(field.Tag.Value)
+			if err != nil {
+				continue
+			}
+			jsonTag, ok := reflect.StructTag(raw).Lookup("json")
+			if !ok || jsonTag == "-" || strings.HasPrefix(jsonTag, "-,") {
+				continue
+			}
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				// *float64 is the sanctioned guard: absent signals are
+				// nil, never NaN.
+				continue
+			}
+			carrier := floatCarrier(t)
+			if carrier == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				if !name.IsExported() {
+					continue
+				}
+				pass.Reportf(name.Pos(),
+					"json-tagged %s field %q marshals NaN as an error and finite values by shortest "+
+						"representation; use *float64 with omitempty for absent signals, or justify "+
+						"finiteness with //vcalint:ignore floatfmt on the struct", carrier, name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/vcabench/vcabench/internal/lint"
+	"github.com/vcabench/vcabench/internal/lint/linttest"
+)
+
+func TestFloatfmtFlagsDeterministicPackages(t *testing.T) {
+	linttest.Run(t, lint.FloatfmtAnalyzer, "testdata/floatfmt/det",
+		linttest.Opts{Path: "example.com/vca/internal/report"})
+}
+
+func TestFloatfmtAllowsDriverPackages(t *testing.T) {
+	linttest.Run(t, lint.FloatfmtAnalyzer, "testdata/floatfmt/allowed",
+		linttest.Opts{Path: "example.com/vca/cmd/tool"})
+}

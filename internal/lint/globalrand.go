@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GlobalrandAnalyzer enforces the RNG invariant: randomness in
+// deterministic packages flows only through *rand.Rand values seeded
+// from the key-derived fork chain (Testbed/Sim.Fork or an explicit seed
+// parameter). The global math/rand stream is shared mutable state —
+// its consumption order depends on goroutine scheduling, so any use
+// breaks byte-identity at -parallel > 1 — and a source seeded from the
+// clock is nondeterministic outright.
+var GlobalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid global math/rand functions and clock-seeded sources in deterministic " +
+		"packages; thread a *rand.Rand seeded from the key-derived fork chain",
+	Run: runGlobalrand,
+}
+
+// globalRandFuncs are the math/rand (and math/rand/v2) top-level
+// functions that consume the shared global stream. rand.New and
+// rand.NewSource are the sanctioned constructors and stay legal — the
+// seed they receive is checked separately.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true,
+	"Uint64N": true, "UintN": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func runGlobalrand(pass *Pass) {
+	if !pass.Deterministic {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isPkg(pass, sel.X, "math/rand") && !isPkg(pass, sel.X, "math/rand/v2") {
+				return true
+			}
+			name := sel.Sel.Name
+			if globalRandFuncs[name] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the global math/rand stream, whose order depends on "+
+						"goroutine scheduling; thread a fork-seeded *rand.Rand instead", name)
+				return true
+			}
+			if name == "NewSource" || name == "NewPCG" || name == "NewChaCha8" {
+				if call := enclosingCall(f, sel); call != nil && clockSeeded(pass, call) {
+					pass.Reportf(sel.Pos(),
+						"rand.%s seeded from the wall clock; seeds must derive from the "+
+							"key-derived fork chain", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// enclosingCall returns the CallExpr whose Fun is sel, if any.
+func enclosingCall(f *ast.File, sel *ast.SelectorExpr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.Fun == sel {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// clockSeeded reports whether any argument of call reaches into package
+// time — the rand.NewSource(time.Now().UnixNano()) idiom and friends.
+func clockSeeded(pass *Pass, call *ast.CallExpr) bool {
+	bad := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && isPkg(pass, sel.X, "time") {
+				bad = true
+				return false
+			}
+			return true
+		})
+	}
+	return bad
+}

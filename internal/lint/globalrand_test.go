@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/vcabench/vcabench/internal/lint"
+	"github.com/vcabench/vcabench/internal/lint/linttest"
+)
+
+func TestGlobalrandFlagsDeterministicPackages(t *testing.T) {
+	linttest.Run(t, lint.GlobalrandAnalyzer, "testdata/globalrand/det",
+		linttest.Opts{Path: "example.com/vca/internal/codec"})
+}
+
+func TestGlobalrandAllowsRealNetworkPackages(t *testing.T) {
+	linttest.Run(t, lint.GlobalrandAnalyzer, "testdata/globalrand/allowed",
+		linttest.Opts{Path: "example.com/vca/internal/cluster"})
+}

@@ -1,0 +1,42 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/vcabench/vcabench/internal/lint"
+	"github.com/vcabench/vcabench/internal/lint/linttest"
+)
+
+// The escape hatch is itself checked: unknown analyzer names, missing
+// reasons and bare annotations are findings, whichever analyzer runs.
+func TestIgnoreAnnotationsAreValidated(t *testing.T) {
+	linttest.Run(t, lint.WalltimeAnalyzer, "testdata/ignore/bad",
+		linttest.Opts{Path: "example.com/vca/cmd/tool"})
+}
+
+func TestDeterministicPath(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"github.com/vcabench/vcabench/internal/simnet", true},
+		{"github.com/vcabench/vcabench/internal/core", true},
+		{"github.com/vcabench/vcabench/internal/stats", true},
+		{"github.com/vcabench/vcabench/internal/mobile", true},
+		{"github.com/vcabench/vcabench/internal/realnet", false},
+		{"github.com/vcabench/vcabench/internal/cluster", false},
+		{"github.com/vcabench/vcabench/internal/serve", false},
+		{"github.com/vcabench/vcabench/internal/capture", false},
+		{"github.com/vcabench/vcabench/cmd/vcabench", false},
+		{"github.com/vcabench/vcabench/examples/cluster", false},
+		{"github.com/vcabench/vcabench", false},
+		// Suffix matching must not be fooled by lookalikes.
+		{"github.com/vcabench/vcabench/internal/realnetx", true},
+		{"github.com/other/minternal/core", false},
+	}
+	for _, c := range cases {
+		if got := lint.DeterministicPath(c.path); got != c.want {
+			t.Errorf("DeterministicPath(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package lint is vcalint's analyzer suite: repo-specific static checks
+// that machine-enforce the determinism invariants every byte-identical
+// guarantee in this codebase rests on (no wall clock in simulation
+// paths, no global or clock-seeded RNGs, no map-iteration order in
+// rendered output, no raw NaN or shortest-float formatting on the
+// render path, no ad-hoc store-key construction).
+//
+// The suite is built directly on go/ast and go/types — a deliberately
+// small reimplementation of the golang.org/x/tools/go/analysis shape
+// (Analyzer, Pass, Reportf), because this module vendors no third-party
+// dependencies. Analyzers therefore run through cmd/vcalint rather than
+// `go vet -vettool`; the checking semantics are the same.
+//
+// # Package classes
+//
+// Most internal packages are *deterministic*: given a seed and inputs
+// they must produce byte-identical results on every run, at any
+// parallelism, on any machine. A short allowlist faces real networks or
+// real hosts and legitimately reads wall clocks: internal/realnet,
+// internal/cluster, internal/serve and internal/capture. Commands and
+// examples are drivers, not simulation code. walltime, globalrand and
+// floatfmt apply only to deterministic packages; maprange and storekey
+// apply everywhere.
+//
+// # Escape hatch
+//
+// A finding that is wrong — or an invariant deliberately waived — is
+// suppressed with a justified annotation:
+//
+//	//vcalint:ignore <analyzer> <reason>
+//
+// on the flagged line, the line above it, or in the doc comment of the
+// enclosing declaration (which covers the whole declaration). The
+// analyzer name must exist and the reason must be non-empty; a
+// malformed or unknown-analyzer annotation is itself reported, so stale
+// ignores cannot rot silently. Annotations are greppable by design.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named determinism check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and ignore annotations.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path; analyzers classify packages by
+	// its suffix, so testdata packages can impersonate real ones.
+	Path string
+	// Deterministic marks packages under the byte-identical contract.
+	Deterministic bool
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		WalltimeAnalyzer,
+		GlobalrandAnalyzer,
+		MaprangeAnalyzer,
+		FloatfmtAnalyzer,
+		StorekeyAnalyzer,
+	}
+}
+
+// byName resolves an analyzer name from the suite.
+func byName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// allowlisted names the internal packages exempt from the
+// deterministic-package analyzers: they face real networks or real
+// machines, where wall clocks and arrival order are the subject matter,
+// not a bug.
+var allowlisted = []string{
+	"internal/realnet",
+	"internal/cluster",
+	"internal/serve",
+	"internal/capture",
+}
+
+// DeterministicPath reports whether the import path names a package
+// under the byte-identical output contract: every internal package
+// except the real-network allowlist. Commands, examples and the facade
+// are drivers and stay outside the contract (maprange and storekey
+// still cover them).
+func DeterministicPath(path string) bool {
+	i := strings.Index(path, "internal/")
+	if i < 0 || (i > 0 && path[i-1] != '/') {
+		return false
+	}
+	rest := path[i:]
+	for _, a := range allowlisted {
+		if rest == a || strings.HasPrefix(rest, a+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Path      string
+}
+
+// Run applies every analyzer in the suite to pkg, validates ignore
+// annotations, and returns the surviving findings sorted by position.
+func Run(pkg *Package) []Diagnostic {
+	return RunAnalyzers(pkg, Analyzers())
+}
+
+// RunAnalyzers applies the given analyzers to pkg. Ignore annotations
+// are parsed once per package: findings covered by a matching justified
+// annotation are dropped, and malformed annotations (unknown analyzer
+// name, missing reason) are reported as findings of the pseudo-analyzer
+// "ignore" regardless of which analyzers run.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:          pkg.Fset,
+			Files:         pkg.Files,
+			Pkg:           pkg.Pkg,
+			TypesInfo:     pkg.TypesInfo,
+			Path:          pkg.Path,
+			Deterministic: DeterministicPath(pkg.Path),
+			analyzer:      a,
+			diags:         &diags,
+		}
+		a.Run(pass)
+	}
+	ig := collectIgnores(pkg)
+	diags = append(filterIgnored(diags, ig), ig.malformed...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignorePrefix introduces an ignore annotation. The directive-style
+// spelling (no space after //) matches Go toolchain directives.
+const ignorePrefix = "//vcalint:ignore"
+
+// ignoreSpan is one parsed annotation: the analyzer it silences and the
+// file line range it covers.
+type ignoreSpan struct {
+	file     string
+	analyzer string
+	from, to int // inclusive line range
+}
+
+type ignoreSet struct {
+	spans     []ignoreSpan
+	malformed []Diagnostic
+}
+
+func (s *ignoreSet) covers(d Diagnostic) bool {
+	for _, sp := range s.spans {
+		if sp.file == d.Pos.Filename && sp.analyzer == d.Analyzer &&
+			d.Pos.Line >= sp.from && d.Pos.Line <= sp.to {
+			return true
+		}
+	}
+	return false
+}
+
+func filterIgnored(diags []Diagnostic, ig *ignoreSet) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if !ig.covers(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// collectIgnores parses every //vcalint:ignore comment in the package.
+// A line comment covers its own line and the next line; an annotation
+// inside the doc comment of a declaration covers the declaration's full
+// span, so one struct-level annotation can justify every field of a
+// guarded JSON document type.
+func collectIgnores(pkg *Package) *ignoreSet {
+	set := &ignoreSet{}
+	for _, f := range pkg.Files {
+		// Doc-comment coverage: map each commented declaration's span.
+		declSpan := map[*ast.CommentGroup][2]int{}
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				doc = d.Doc
+				for _, spec := range d.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok && ts.Doc != nil {
+						declSpan[ts.Doc] = [2]int{
+							pkg.Fset.Position(ts.Pos()).Line,
+							pkg.Fset.Position(ts.End()).Line,
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				declSpan[doc] = [2]int{
+					pkg.Fset.Position(decl.Pos()).Line,
+					pkg.Fset.Position(decl.End()).Line,
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other directive, e.g. //vcalint:ignorefoo
+				}
+				name, reason := splitDirective(rest)
+				if name == "" {
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos: pos, Analyzer: "ignore",
+						Message: "malformed //vcalint:ignore: want \"//vcalint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				if byName(name) == nil {
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos: pos, Analyzer: "ignore",
+						Message: fmt.Sprintf("//vcalint:ignore names unknown analyzer %q (have %s)", name, analyzerNames()),
+					})
+					continue
+				}
+				if reason == "" {
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos: pos, Analyzer: "ignore",
+						Message: fmt.Sprintf("//vcalint:ignore %s has no reason; justify the exemption", name),
+					})
+					continue
+				}
+				from, to := pos.Line, pos.Line+1
+				if span, ok := declSpan[cg]; ok {
+					from, to = span[0], span[1]
+					// The annotation line itself stays covered even when
+					// the doc comment sits above the declaration.
+					if pos.Line < from {
+						from = pos.Line
+					}
+				}
+				set.spans = append(set.spans, ignoreSpan{
+					file: pos.Filename, analyzer: name, from: from, to: to,
+				})
+			}
+		}
+	}
+	return set
+}
+
+// splitDirective parses " <analyzer> <reason...>" after the prefix.
+func splitDirective(rest string) (name, reason string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", ""
+	}
+	return fields[0], strings.TrimSpace(strings.Join(fields[1:], " "))
+}
+
+func analyzerNames() string {
+	names := make([]string, 0, len(Analyzers()))
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}

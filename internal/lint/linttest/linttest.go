@@ -1,0 +1,174 @@
+// Package linttest is the analysistest-style harness for vcalint
+// analyzers: it type-checks a testdata package, runs one analyzer (plus
+// the framework's ignore-annotation validation), and compares the
+// findings against `// want "regexp"` expectations written next to the
+// code that should be flagged. Every diagnostic must be expected and
+// every expectation must fire — extra or missing findings fail the
+// test, in either direction.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/vcabench/vcabench/internal/lint"
+)
+
+// Opts adjusts how the testdata package is presented to the suite.
+type Opts struct {
+	// Path is the import path the package claims — the lever that makes
+	// a testdata directory impersonate a deterministic package
+	// (".../internal/simnet"), an allowlisted one (".../internal/realnet")
+	// or internal/core itself. Defaults to "example.com/" + dir base.
+	Path string
+}
+
+// Run type-checks the Go package in dir and asserts that analyzer's
+// findings exactly match the // want expectations in its sources.
+func Run(t *testing.T, analyzer *lint.Analyzer, dir string, opts Opts) {
+	t.Helper()
+	pkg, err := loadDir(dir, opts.Path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := lint.RunAnalyzers(pkg, []*lint.Analyzer{analyzer})
+	wants, err := collectWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatalf("parsing // want comments in %s: %v", dir, err)
+	}
+	for _, d := range diags {
+		if !wants.match(d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("expected finding did not fire: %s:%d: want %q", w.file, w.line, w.re.String())
+	}
+}
+
+func loadDir(dir, path string) (*lint.Package, error) {
+	if path == "" {
+		path = "example.com/" + filepath.Base(dir)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &lint.Package{Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info, Path: path}, nil
+}
+
+// want is one expectation: a regexp that must match a finding's message
+// on a specific line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ wants []*want }
+
+func (s *wantSet) match(d lint.Diagnostic) bool {
+	for _, w := range s.wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (s *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range s.wants {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// collectWants parses `// want "re" "re" ...` comments. Each quoted
+// string is one expected finding on the comment's line. The
+// `// want-next` variant expects the finding on the following line —
+// needed when the flagged construct is itself a comment (a malformed
+// //vcalint:ignore), which cannot share its line with a want.
+func collectWants(fset *token.FileSet, files []*ast.File) (*wantSet, error) {
+	set := &wantSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				offset := 0
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					if rest, ok = strings.CutPrefix(c.Text, "// want-next "); !ok {
+						continue
+					}
+					offset = 1
+				}
+				pos := fset.Position(c.Pos())
+				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: malformed want: %q", pos.Filename, pos.Line, c.Text)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					set.wants = append(set.wants, &want{file: pos.Filename, line: pos.Line + offset, re: re})
+					rest = rest[len(q):]
+				}
+			}
+		}
+	}
+	return set, nil
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// This file is vcalint's package loader. With no golang.org/x/tools in
+// the module, there is no go/packages: package discovery goes through
+// `go list -json` and type checking through the standard library's
+// source importer, which type-checks every dependency (stdlib included)
+// from source. That keeps the tool offline and dependency-free at the
+// cost of a few seconds of whole-program checking — fine for CI.
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// LoadPatterns resolves go-list patterns (./..., specific import paths)
+// against the module rooted at or above dir, and returns each matched
+// package parsed and type-checked, ready for Run. Test files are
+// excluded by construction (GoFiles only): determinism invariants bind
+// shipped code, while tests routinely build adversarial keys and fake
+// clocks on purpose.
+func LoadPatterns(dir string, patterns []string) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	// The source importer resolves module imports through the go
+	// command; cgo-tagged dependency files would defeat pure-source type
+	// checking, so resolve the pure-Go build.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var out []*Package
+	for _, lp := range pkgs {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			Path:      lp.ImportPath,
+		})
+	}
+	return out, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-e", "-json=Dir,ImportPath,Name,GoFiles,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}

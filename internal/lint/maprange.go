@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MaprangeAnalyzer enforces the ordered-output invariant: Go map
+// iteration order is deliberately randomized, so a `for range` over a
+// map may not feed anything order-sensitive — appending to a slice,
+// writing rendered output, or formatting strings — unless the collected
+// values are sorted afterwards. This is the fig14 bug class (a paper
+// table rendered in map order, byte-different on every run), caught
+// once by review in PR 1 and machine-checked since.
+//
+// The analyzer applies everywhere, not just deterministic packages:
+// rendered bytes escape through daemons and CLIs too. Loops whose
+// bodies only do commutative work (counting, summing, set inserts,
+// deletes) are never flagged, and an append-collect loop is legal when
+// a sort call over the collected slice follows in the same function.
+var MaprangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc: "forbid order-sensitive work (slice appends without a following sort, output " +
+		"writes, string formatting) inside for-range over a map",
+	Run: runMaprange,
+}
+
+func runMaprange(pass *Pass) {
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			appendTargets, sinks := scanRangeBody(pass, rng.Body)
+			for _, s := range sinks {
+				pass.Reportf(rng.Pos(),
+					"map iteration order is nondeterministic, and this loop %s; iterate sorted keys instead",
+					s)
+			}
+			for _, target := range appendTargets {
+				if sortedAfter(pass, parents, rng, target) {
+					continue
+				}
+				pass.Reportf(rng.Pos(),
+					"map iteration order is nondeterministic, and this loop appends to %q with no "+
+						"following sort; sort %q before it is used, or iterate sorted keys",
+					target.Name(), target.Name())
+			}
+			return true
+		})
+	}
+}
+
+// scanRangeBody classifies the loop body's order-sensitive effects:
+// identifiers collected via append (legal if sorted later) and
+// immediate output/formatting sinks (never legal in map order).
+func scanRangeBody(pass *Pass, body *ast.BlockStmt) (appendTargets []*types.Var, sinks []string) {
+	seen := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && isBuiltin(pass, fun) && len(call.Args) > 0 {
+				if id, ok := call.Args[0].(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && !seen[v] {
+						seen[v] = true
+						appendTargets = append(appendTargets, v)
+					}
+					return true
+				}
+				sinks = append(sinks, "appends to a compound expression")
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			switch {
+			case isPkg(pass, fun.X, "fmt"):
+				sinks = append(sinks, fmt.Sprintf("formats output via fmt.%s", name))
+			case strings.HasPrefix(name, "Write"):
+				sinks = append(sinks, fmt.Sprintf("writes output via %s", name))
+			}
+		}
+		return true
+	})
+	return appendTargets, sinks
+}
+
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sortedAfter reports whether, somewhere after the range loop in the
+// same function, target is handed to a sort (package sort or slices, or
+// any function whose name mentions sorting). That is the sanctioned
+// collect-then-sort idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+func sortedAfter(pass *Pass, parents parentMap, rng *ast.RangeStmt, target *types.Var) bool {
+	fn := parents.enclosingFunc(rng)
+	if fn == nil || fn.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ok := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, isID := m.(*ast.Ident); isID && pass.TypesInfo.Uses[id] == target {
+					ok = true
+					return false
+				}
+				return true
+			})
+			if ok {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if isPkg(pass, fun.X, "sort") || isPkg(pass, fun.X, "slices") {
+			return true
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}

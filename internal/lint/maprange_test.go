@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/vcabench/vcabench/internal/lint"
+	"github.com/vcabench/vcabench/internal/lint/linttest"
+)
+
+// maprange applies to every package — rendered bytes escape through
+// drivers and daemons too — so the positive case runs under a plain
+// command-like path.
+func TestMaprangeFlagsOrderSensitiveLoops(t *testing.T) {
+	linttest.Run(t, lint.MaprangeAnalyzer, "testdata/maprange/flagged",
+		linttest.Opts{Path: "example.com/vca/cmd/tool"})
+}
+
+func TestMaprangeHonorsJustifiedIgnores(t *testing.T) {
+	linttest.Run(t, lint.MaprangeAnalyzer, "testdata/maprange/ignored",
+		linttest.Opts{Path: "example.com/vca/internal/realnet"})
+}

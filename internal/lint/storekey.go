@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// StorekeyAnalyzer enforces the key-grammar invariant: the strings that
+// name persisted cells, replica units and rendered serve documents are
+// a schema. Their reserved fragments — the "v<N>/seed<S>/..." store-key
+// prefix, the "/rep=K" replica segment, the "servecell/" rendered-cell
+// namespace — may be *built* only by the canonical helpers in
+// internal/core (cellKey, replicaKey, ServeCellKey). An ad-hoc
+// fmt.Sprintf or string concatenation that spells one of these
+// fragments elsewhere will drift from the schema on the next version
+// bump and silently split or alias the warm cache.
+//
+// Reading keys is always legal: strings.LastIndex(key, "/rep=") parses,
+// it does not build. Only literals used as operands of string
+// concatenation or arguments to fmt formatting calls are flagged.
+var StorekeyAnalyzer = &Analyzer{
+	Name: "storekey",
+	Doc: "store/cell/servecell key fragments may only be assembled by the canonical " +
+		"helpers in internal/core; ad-hoc Sprintf/concatenation drifts from the key schema",
+	Run: runStorekey,
+}
+
+// reservedKeyFragments are the substrings that mark a string literal as
+// part of the persisted-key grammar.
+var reservedKeyFragments = []string{
+	"servecell/",
+	"/rep=",
+	"v%d/seed",
+}
+
+// canonicalKeyHelpers are the internal/core functions allowed to
+// assemble reserved fragments.
+var canonicalKeyHelpers = map[string]bool{
+	"cellKey":      true,
+	"replicaKey":   true,
+	"ServeCellKey": true,
+}
+
+func runStorekey(pass *Pass) {
+	inCore := pass.Path == "internal/core" || strings.HasSuffix(pass.Path, "/internal/core")
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			val, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			frag := reservedFragment(val)
+			if frag == "" {
+				return true
+			}
+			if !buildsString(pass, parents, lit) {
+				return true
+			}
+			if inCore {
+				if fn := parents.enclosingFunc(lit); fn != nil && canonicalKeyHelpers[fn.Name.Name] {
+					return true
+				}
+			}
+			pass.Reportf(lit.Pos(),
+				"key fragment %q assembled outside the canonical helpers "+
+					"(core cellKey/replicaKey/ServeCellKey); ad-hoc keys drift from the "+
+					"schema and break warm-cache byte-identity", frag)
+			return true
+		})
+	}
+}
+
+func reservedFragment(s string) string {
+	for _, frag := range reservedKeyFragments {
+		if strings.Contains(s, frag) {
+			return frag
+		}
+	}
+	return ""
+}
+
+// buildsString reports whether lit participates in string construction:
+// an operand of a + concatenation, or an argument of a fmt call. A
+// literal passed to strings.HasPrefix, LastIndex, TrimPrefix and
+// friends is parsing, not building, and stays legal.
+func buildsString(pass *Pass, parents parentMap, lit *ast.BasicLit) bool {
+	switch parent := parents[lit].(type) {
+	case *ast.BinaryExpr:
+		return parent.Op == token.ADD
+	case *ast.CallExpr:
+		if sel, ok := parent.Fun.(*ast.SelectorExpr); ok && isPkg(pass, sel.X, "fmt") {
+			return true
+		}
+	}
+	return false
+}

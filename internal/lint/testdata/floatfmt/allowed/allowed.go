@@ -1,0 +1,10 @@
+// Package allowed impersonates driver code (a command), which sits
+// outside the deterministic rendering contract.
+package allowed
+
+import "fmt"
+
+// Log prints a float for a human; drivers may.
+func Log(x float64) string {
+	return fmt.Sprintf("%v", x)
+}

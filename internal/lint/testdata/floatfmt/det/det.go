@@ -1,0 +1,34 @@
+// Package det exercises floatfmt findings in a deterministic package:
+// shortest-representation verbs on floats and unguarded json-tagged
+// float fields.
+package det
+
+import "fmt"
+
+// Format exercises the verb checks.
+func Format(x float64, xs []float64) string {
+	s := fmt.Sprintf("%v", x)                 // want `%v formats a float64 by shortest representation`
+	s += fmt.Sprintf("%g", x)                 // want `%g formats a float64 by shortest representation`
+	s += fmt.Sprint(x)                        // want `fmt.Sprint formats a float64 with implicit %v`
+	s += fmt.Sprintf("%v", xs)                // want `%v formats a \[\]float64 by shortest representation`
+	s += fmt.Sprintf("%.3g and %08.2f", x, x) // explicit precision: legal
+	s += fmt.Sprintf("%v %d", "label", 7)     // %v on non-floats: legal
+	return s
+}
+
+// Doc is a JSON document with guarded and unguarded fields.
+type Doc struct {
+	Mean   float64  `json:"mean"` // want `json-tagged float64 field "Mean"`
+	StdErr *float64 `json:"stderr,omitempty"`
+	Label  string   `json:"label"`
+	Skip   float64  `json:"-"`
+}
+
+// Guarded waives the field check for the whole struct with a stated
+// finiteness argument.
+//
+//vcalint:ignore floatfmt every field is produced by a constructor that filters NaN
+type Guarded struct {
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+}

@@ -1,0 +1,11 @@
+// Package allowed impersonates an allowlisted real-network package,
+// where jittered retry backoff may draw from the global stream.
+package allowed
+
+import "math/rand"
+
+// Jitter randomizes a retry delay; cluster scheduling is not under the
+// byte-identical contract.
+func Jitter(base float64) float64 {
+	return base * (1 + rand.Float64()/10)
+}

@@ -1,0 +1,34 @@
+// Package det exercises globalrand findings in a deterministic package.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Global draws from the shared stream.
+func Global() int {
+	return rand.Intn(10) // want `rand.Intn draws from the global math/rand stream`
+}
+
+// Shuffled mutates the shared stream too.
+func Shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the global math/rand stream`
+}
+
+// ClockSeeded derives a seed from the wall clock.
+func ClockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand.NewSource seeded from the wall clock`
+}
+
+// Threaded is the sanctioned shape: the seed arrives from the
+// key-derived fork chain.
+func Threaded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Waived uses the global stream under a justified annotation.
+func Waived() float64 {
+	//vcalint:ignore globalrand testdata exercises the escape hatch
+	return rand.Float64()
+}

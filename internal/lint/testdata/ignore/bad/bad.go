@@ -1,0 +1,25 @@
+// Package bad exercises the framework's validation of the escape hatch
+// itself: unknown analyzer names and missing justifications are
+// findings, so stale or typoed ignores cannot rot silently.
+package bad
+
+// Unknown names a nonexistent analyzer.
+func Unknown() int {
+	// want-next `unknown analyzer "spacetime"`
+	//vcalint:ignore spacetime not a real analyzer
+	return 1
+}
+
+// NoReason omits the justification.
+func NoReason() int {
+	// want-next `has no reason`
+	//vcalint:ignore walltime
+	return 2
+}
+
+// Bare has neither analyzer nor reason.
+func Bare() int {
+	// want-next `malformed //vcalint:ignore`
+	//vcalint:ignore
+	return 3
+}

@@ -1,0 +1,63 @@
+// Package flagged exercises maprange findings: order-sensitive work in
+// map-iteration order, next to the sanctioned shapes.
+package flagged
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Emit renders cells in map order — the fig14 bug class.
+func Emit(m map[string]int, b *strings.Builder) {
+	for k, v := range m { // want `formats output via fmt.Fprintf`
+		fmt.Fprintf(b, "%s=%d\n", k, v)
+	}
+}
+
+// Build writes through a builder method in map order.
+func Build(m map[string]bool, b *strings.Builder) {
+	for k := range m { // want `writes output via WriteString`
+		b.WriteString(k)
+	}
+}
+
+// Collect appends in map order and never sorts.
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to "keys" with no following sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Sorted is the sanctioned collect-then-sort idiom: same loop body,
+// no finding.
+func Sorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedVia also counts: the collected slice reaches a sort through
+// sort.Slice's comparator form.
+func SortedVia(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Count does commutative work only: never flagged.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

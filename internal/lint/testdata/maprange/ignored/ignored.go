@@ -1,0 +1,14 @@
+// Package ignored shows a justified waiver: fan-out whose order is
+// genuinely outside any deterministic contract.
+package ignored
+
+import "fmt"
+
+// Broadcast hands a value to every sink; delivery order is not part of
+// the output contract.
+func Broadcast(m map[string]int) {
+	//vcalint:ignore maprange fan-out order is not part of the output contract
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

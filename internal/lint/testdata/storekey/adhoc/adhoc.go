@@ -1,0 +1,23 @@
+// Package adhoc exercises storekey findings: reserved key fragments
+// assembled outside the canonical internal/core helpers.
+package adhoc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Key spells the replica segment by hand.
+func Key(cell string, k int) string {
+	return fmt.Sprintf("%s/rep=%d", cell, k) // want `key fragment "/rep=" assembled outside`
+}
+
+// Rendered concatenates into the servecell namespace by hand.
+func Rendered(scale string) string {
+	return "servecell/" + scale // want `key fragment "servecell/" assembled outside`
+}
+
+// Parse only reads the grammar — always legal.
+func Parse(key string) bool {
+	return strings.Contains(key, "/rep=") && strings.HasPrefix(key, "servecell/")
+}

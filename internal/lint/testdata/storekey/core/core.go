@@ -1,0 +1,27 @@
+// Package core impersonates internal/core: the canonical key helpers
+// may assemble reserved fragments, and nothing else may.
+package core
+
+import "fmt"
+
+const schema = 3
+
+// cellKey is the canonical store-key helper.
+func cellKey(seed int64, unitKey string) string {
+	return fmt.Sprintf("v%d/seed%d/%s", schema, seed, unitKey)
+}
+
+// replicaKey is the canonical replica-segment helper.
+func replicaKey(cellKey string, k int) string {
+	return fmt.Sprintf("%s/rep=%d", cellKey, k)
+}
+
+// ServeCellKey is the canonical rendered-document helper.
+func ServeCellKey(scale string, seed int64, unitKey string) string {
+	return fmt.Sprintf("servecell/v%d/%s/%d/%s", schema, scale, seed, unitKey)
+}
+
+// adHoc is not a canonical helper, even inside internal/core.
+func adHoc(cell string) string {
+	return cell + "/rep=" + "0" // want `key fragment "/rep=" assembled outside`
+}

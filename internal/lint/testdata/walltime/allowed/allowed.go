@@ -1,0 +1,12 @@
+// Package allowed impersonates an allowlisted real-network package:
+// wall-clock reads are the subject matter there, not a bug.
+package allowed
+
+import "time"
+
+// RTT measures a real round trip on the host clock.
+func RTT(probe func()) time.Duration {
+	start := time.Now()
+	probe()
+	return time.Since(start)
+}

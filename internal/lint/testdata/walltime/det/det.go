@@ -1,0 +1,25 @@
+// Package det exercises walltime findings in a deterministic package.
+package det
+
+import "time"
+
+// Clock reads the host clock every way the analyzer forbids.
+func Clock() time.Duration {
+	start := time.Now()            // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond)   // want `time.Sleep blocks on the wall clock`
+	<-time.After(time.Millisecond) // want `time.After waits on the wall clock`
+	return time.Since(start)       // want `time.Since reads the wall clock`
+}
+
+// Durations shows that conversions and arithmetic stay legal: they are
+// data, not clock reads.
+func Durations() time.Duration {
+	d, _ := time.ParseDuration("1s")
+	return d + 2*time.Second
+}
+
+// Waived reads the clock under a justified annotation.
+func Waived() time.Time {
+	//vcalint:ignore walltime testdata exercises the escape hatch
+	return time.Now()
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WalltimeAnalyzer enforces the first determinism invariant: simulation
+// code never reads the wall clock. Every instant in a deterministic
+// package must come from the simulator (simnet.Sim's virtual clock) or
+// arrive as data; a single time.Now() in a packet path makes results
+// depend on host speed and destroys byte-identity across runs, worker
+// counts and machines.
+var WalltimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock reads (time.Now, time.Since, time.Until, time.After, " +
+		"timers, tickers, sleeps) in deterministic packages; derive time from the simulator",
+	Run: runWalltime,
+}
+
+// wallClockFuncs are the package time functions that observe or wait on
+// the host clock. Pure constructors and conversions (time.Duration,
+// time.Unix, time.Date, time.ParseDuration) are data, not clock reads,
+// and stay legal.
+var wallClockFuncs = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"After":     "waits on the wall clock",
+	"AfterFunc": "schedules on the wall clock",
+	"Tick":      "ticks on the wall clock",
+	"NewTicker": "ticks on the wall clock",
+	"NewTimer":  "schedules on the wall clock",
+	"Sleep":     "blocks on the wall clock",
+}
+
+func runWalltime(pass *Pass) {
+	if !pass.Deterministic {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			why, bad := wallClockFuncs[sel.Sel.Name]
+			if !bad || !isPkg(pass, sel.X, "time") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s %s; deterministic packages must take time from the simulator (sim.Now) or as data",
+				sel.Sel.Name, why)
+			return true
+		})
+	}
+}
+
+// isPkg reports whether expr is an identifier naming an import of the
+// given package path.
+func isPkg(pass *Pass, expr ast.Expr, path string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}

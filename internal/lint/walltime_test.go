@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/vcabench/vcabench/internal/lint"
+	"github.com/vcabench/vcabench/internal/lint/linttest"
+)
+
+func TestWalltimeFlagsDeterministicPackages(t *testing.T) {
+	linttest.Run(t, lint.WalltimeAnalyzer, "testdata/walltime/det",
+		linttest.Opts{Path: "example.com/vca/internal/simnet"})
+}
+
+func TestWalltimeAllowsRealNetworkPackages(t *testing.T) {
+	linttest.Run(t, lint.WalltimeAnalyzer, "testdata/walltime/allowed",
+		linttest.Opts{Path: "example.com/vca/internal/realnet"})
+}

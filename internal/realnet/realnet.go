@@ -92,6 +92,7 @@ func (r *Relay) serve() {
 			copy(pkt, buf[:n])
 			r.mu.Lock()
 			var dests []*net.UDPAddr
+			//vcalint:ignore maprange fan-out over a real UDP socket; delivery order is up to the network, not an output contract
 			for k, m := range r.members {
 				if k != from.String() {
 					dests = append(dests, m)

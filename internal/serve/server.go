@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -102,19 +103,6 @@ type Server struct {
 // let one client's seed override silently shadow another's cells.
 func cellIndexKey(scaleName string, seed int64, unitKey string) string {
 	return fmt.Sprintf("%s/%d/%s", scaleName, seed, unitKey)
-}
-
-// cellStoreKey names a rendered cell-JSON document in the persistent
-// store, so /cells lookups survive daemon restarts and MaxJobs
-// eviction. The "servecell" prefix keeps these documents disjoint from
-// core's gob-encoded cells ("v<N>/seed..."); the version is this JSON
-// framing's, bumped if the rendered cell shape ever changes.
-// v2: CellResult gained the trace label and rate_over_time series.
-// v3: replicated campaigns — CellResult gained the replicas block and
-// metrics gained reps/stderr/ci95 fields; campaign results gained the
-// repeats count.
-func cellStoreKey(scaleName string, seed int64, unitKey string) string {
-	return fmt.Sprintf("servecell/v3/%s/%d/%s", scaleName, seed, unitKey)
 }
 
 // job is one submitted campaign execution.
@@ -343,7 +331,7 @@ func (s *Server) run(j *job, sc core.Scale) {
 	// narrow the fallback.
 	if s.cfg.Store != nil {
 		for _, d := range docs {
-			key := cellStoreKey(j.scaleName, j.seed, d.unitKey)
+			key := core.ServeCellKey(j.scaleName, j.seed, d.unitKey)
 			if _, ok := s.cfg.Store.Get(key); !ok {
 				s.cfg.Store.Put(key, d.data)
 			}
@@ -456,7 +444,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		// The in-memory index only spans retained jobs; the store holds
 		// every cell this daemon (or a predecessor sharing the cache
 		// directory) ever finished.
-		data, ok = s.cfg.Store.Get(cellStoreKey(scaleName, seed, key))
+		data, ok = s.cfg.Store.Get(core.ServeCellKey(scaleName, seed, key))
 	}
 	if !ok {
 		httpError(w, http.StatusNotFound,
@@ -573,7 +561,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // Jobs returns the IDs of all submitted campaigns, for debugging and
-// tests; order is unspecified.
+// tests, sorted so identical job sets always list identically.
 func (s *Server) Jobs() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -581,6 +569,7 @@ func (s *Server) Jobs() []string {
 	for id := range s.jobs {
 		out = append(out, id)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -604,6 +593,7 @@ func (s *Server) Wait(id string) bool {
 func (s *Server) DrainJobs() {
 	s.mu.Lock()
 	pending := make([]*job, 0, len(s.jobs))
+	//vcalint:ignore maprange wait barrier; every job is awaited exactly once and nothing is emitted
 	for _, j := range s.jobs {
 		pending = append(pending, j)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -462,6 +463,38 @@ func TestServeDrainJobs(t *testing.T) {
 		if status != "done" && status != "failed" {
 			t.Errorf("job %s still %q after DrainJobs", id, status)
 		}
+	}
+}
+
+// Jobs must list the same job set identically on every call: the map
+// backing it iterates in random order, so an unsorted listing leaks
+// scheduler state into what debugging tools and tests observe
+// (vcalint maprange regression).
+func TestServeJobsListingDeterministic(t *testing.T) {
+	srv := New(Config{Scale: core.TinyScale, Seed: 42})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	for i := 0; i < 5; i++ {
+		submit(t, ts, fmt.Sprintf(`{"spec": %s, "seed": %d}`, testSpec, 500+i))
+	}
+	srv.DrainJobs()
+	first, err := json.Marshal(srv.Jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(srv.Jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("Jobs() not stable across calls:\n%s\n%s", first, second)
+	}
+	ids := srv.Jobs()
+	if len(ids) != 5 {
+		t.Fatalf("Jobs() returned %d ids, want 5", len(ids))
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("Jobs() not sorted: %q", ids)
 	}
 }
 

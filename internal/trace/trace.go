@@ -22,6 +22,8 @@ import (
 // Step is one schedule point: the complete downlink state to apply at
 // AtSec, expressed in absolute terms, never deltas — replaying a
 // prefix of a trace always leaves the link in a well-defined state.
+//
+//vcalint:ignore floatfmt input-side schedule; JSON cannot encode NaN and Validate rejects non-finite values
 type Step struct {
 	// AtSec is the offset from trace start in seconds.
 	AtSec float64 `json:"at_sec"`
@@ -48,6 +50,8 @@ func (st Step) state(burst int) simnet.LinkState {
 // ordered by AtSec; with RepeatSec > 0 the schedule replays with that
 // period (every AtSec must then fall inside [0, RepeatSec)), otherwise
 // it plays once and the last step's state persists.
+//
+//vcalint:ignore floatfmt input-side schedule; JSON cannot encode NaN and Validate rejects non-finite values
 type Trace struct {
 	Name      string  `json:"name"`
 	Steps     []Step  `json:"steps"`
@@ -75,28 +79,28 @@ func (t Trace) Validate() error {
 		return fmt.Errorf("trace %q: no steps", t.Name)
 	}
 	if !span(t.RepeatSec) {
-		return fmt.Errorf("trace %q: repeat_sec %v invalid (want [0, %g])", t.Name, t.RepeatSec, float64(maxTraceSec))
+		return fmt.Errorf("trace %q: repeat_sec %.6g invalid (want [0, %.6g])", t.Name, t.RepeatSec, float64(maxTraceSec))
 	}
 	prev := math.Inf(-1)
 	for i, st := range t.Steps {
 		if !span(st.AtSec) {
-			return fmt.Errorf("trace %q: step %d at_sec %v invalid (want [0, %g])", t.Name, i, st.AtSec, float64(maxTraceSec))
+			return fmt.Errorf("trace %q: step %d at_sec %.6g invalid (want [0, %.6g])", t.Name, i, st.AtSec, float64(maxTraceSec))
 		}
 		if st.AtSec <= prev {
-			return fmt.Errorf("trace %q: step %d at_sec %v not strictly increasing", t.Name, i, st.AtSec)
+			return fmt.Errorf("trace %q: step %d at_sec %.6g not strictly increasing", t.Name, i, st.AtSec)
 		}
 		prev = st.AtSec
 		if st.DownCapBps < 0 {
 			return fmt.Errorf("trace %q: step %d negative down_cap_bps", t.Name, i)
 		}
 		if !finite(st.LossPct) || st.LossPct < 0 || st.LossPct >= 100 {
-			return fmt.Errorf("trace %q: step %d loss_pct %v outside [0, 100)", t.Name, i, st.LossPct)
+			return fmt.Errorf("trace %q: step %d loss_pct %.6g outside [0, 100)", t.Name, i, st.LossPct)
 		}
 		if !finite(st.ExtraDelayMs) || st.ExtraDelayMs < 0 || st.ExtraDelayMs > maxTraceSec*1000 {
-			return fmt.Errorf("trace %q: step %d extra_delay_ms %v invalid", t.Name, i, st.ExtraDelayMs)
+			return fmt.Errorf("trace %q: step %d extra_delay_ms %.6g invalid", t.Name, i, st.ExtraDelayMs)
 		}
 		if t.RepeatSec > 0 && st.AtSec >= t.RepeatSec {
-			return fmt.Errorf("trace %q: step %d at_sec %v outside the repeat period [0, %v)",
+			return fmt.Errorf("trace %q: step %d at_sec %.6g outside the repeat period [0, %.6g)",
 				t.Name, i, st.AtSec, t.RepeatSec)
 		}
 	}
@@ -165,6 +169,8 @@ func StepDown(name string, levelsBps []int64, dwell time.Duration) Trace {
 // Spec declares a trace in a campaign JSON file: either explicit Steps
 // (with optional RepeatSec) or exactly one generator. The zero Spec is
 // inactive — the "no trace" default value of a campaign's Traces axis.
+//
+//vcalint:ignore floatfmt input-side spec; JSON cannot encode NaN and Resolve validates every value
 type Spec struct {
 	// Name labels the trace in unit keys and results.
 	Name string `json:"name,omitempty"`
@@ -184,6 +190,8 @@ type Spec struct {
 
 // SquareSpec parameterizes Square, or — with Once — a single
 // DropRecover pulse (high for HighSec, low for LowSec, high again).
+//
+//vcalint:ignore floatfmt input-side spec; JSON cannot encode NaN and Resolve validates every value
 type SquareSpec struct {
 	HighBps int64   `json:"high_bps"`
 	LowBps  int64   `json:"low_bps"`
@@ -193,6 +201,8 @@ type SquareSpec struct {
 }
 
 // SawtoothSpec parameterizes Sawtooth.
+//
+//vcalint:ignore floatfmt input-side spec; JSON cannot encode NaN and Resolve validates every value
 type SawtoothSpec struct {
 	TopBps    int64   `json:"top_bps"`
 	BottomBps int64   `json:"bottom_bps"`
@@ -201,6 +211,8 @@ type SawtoothSpec struct {
 }
 
 // StepDownSpec parameterizes StepDown.
+//
+//vcalint:ignore floatfmt input-side spec; JSON cannot encode NaN and Resolve validates every value
 type StepDownSpec struct {
 	LevelsBps []int64 `json:"levels_bps"`
 	DwellSec  float64 `json:"dwell_sec"`
