@@ -58,6 +58,27 @@ func BenchmarkFig12SweepCold(b *testing.B) {
 	}
 }
 
+// Instrumented twin of BenchmarkFig12SweepCold: the identical cold
+// sweep with the full telemetry stack armed — engine metrics, span
+// tracing, store latency histograms. The gap between the pair is the
+// observability overhead, which must stay in the noise (the telemetry
+// budget is < 2%): counters are atomics, spans append under one mutex,
+// and nothing is exported during the run.
+func BenchmarkFig12SweepColdObserved(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tel := vcabench.NewTelemetry()
+		tel.Tracer = vcabench.NewTracer()
+		st, err := vcabench.OpenStoreOptions(b.TempDir(), vcabench.StoreOptions{Telemetry: tel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := vcabench.RunOpts{Store: st, Telemetry: tel}
+		if err := vcabench.RunWithOpts("fig12", 42, benchScale, opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFig12SweepWarm(b *testing.B) {
 	st, err := vcabench.OpenStore(b.TempDir())
 	if err != nil {

@@ -44,6 +44,18 @@
 // between concurrent runs and with the vcabenchd daemon; a summary
 // line ("vcabench: cache: N hits, M misses, K cells stored") goes to
 // stderr after each cached run.
+//
+// Observability (none of it changes rendered output, only records how
+// it was produced — see the README's Observability section):
+//
+//	-trace-out spans.jsonl   write execution spans (campaign → cell →
+//	                         replica → unit → memo/store/dispatch/
+//	                         local-run) as JSON Lines, one span per
+//	                         line, plus a per-tier summary on stderr
+//	-metrics-out FILE        write the final metrics registry in
+//	                         Prometheus text format ("-" = stderr)
+//	-cpuprofile FILE         write a pprof CPU profile of the run
+//	-memprofile FILE         write a pprof heap profile at exit
 package main
 
 import (
@@ -51,6 +63,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/vcabench/vcabench"
@@ -68,6 +82,10 @@ func main() {
 		cacheDir = flag.String("cache", "", "persist campaign-unit results in this directory")
 		workers  = flag.String("workers", "", "comma-separated vcabenchd base URLs to shard campaign cells across")
 		repeats  = flag.Int("repeats", 0, "with -campaign: run every cell this many times and aggregate (0 = spec's value)")
+		traceOut = flag.String("trace-out", "", "write execution spans as JSON Lines to this file, summary to stderr")
+		metrics  = flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file (\"-\" = stderr)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -103,6 +121,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	for _, f := range []struct{ name, val string }{
+		{"-trace-out", *traceOut}, {"-metrics-out", *metrics},
+		{"-cpuprofile", *cpuProf}, {"-memprofile", *memProf},
+	} {
+		if f.val != "" && *run == "" && *campaign == "" {
+			fmt.Fprintf(os.Stderr, "vcabench: %s requires -run or -campaign\n", f.name)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
 
 	if *list {
 		for _, e := range vcabench.List() {
@@ -122,27 +150,38 @@ func main() {
 		os.Exit(2)
 	}
 
+	o := startObs(*traceOut, *metrics, *cpuProf, *memProf)
+	defer o.finish()
+
 	var st *vcabench.Store
 	if *cacheDir != "" {
 		var err error
-		st, err = vcabench.OpenStore(*cacheDir)
+		// With telemetry on, the store reports into the same registry
+		// the engine does, so one -metrics-out file carries both.
+		if o.tel != nil {
+			st, err = vcabench.OpenStoreOptions(*cacheDir, vcabench.StoreOptions{Telemetry: o.tel})
+		} else {
+			st, err = vcabench.OpenStore(*cacheDir)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vcabench:", err)
+			o.finish()
 			os.Exit(1)
 		}
 		defer reportCache(st)
 	}
 
-	pool := openPool(*workers)
+	pool := openPool(*workers, o.tel)
 	if pool != nil {
 		defer reportCluster(pool)
 	}
 
 	if *campaign != "" {
-		if err := runCampaign(*campaign, *jsonOut, *seed, sc, *parallel, *repeats, st, pool); err != nil {
+		if err := runCampaign(*campaign, *jsonOut, *seed, sc, *parallel, *repeats, st, pool, o.tel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			reportCache(st)
 			reportCluster(pool)
+			o.finish()
 			os.Exit(1)
 		}
 		return
@@ -155,7 +194,7 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	}
-	opts := vcabench.RunOpts{Workers: *parallel}
+	opts := vcabench.RunOpts{Workers: *parallel, Telemetry: o.tel}
 	if st != nil {
 		// A typed-nil *Store must not become a non-nil CellStore.
 		opts.Store = st
@@ -176,16 +215,109 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			reportCache(st)
 			reportCluster(pool)
+			o.finish()
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
 }
 
+// obsSession owns the run's observability outputs. finish flushes them
+// exactly once; every exit path — normal return or os.Exit, which
+// bypasses defers — calls it explicitly.
+type obsSession struct {
+	tel      *vcabench.Telemetry // nil unless -trace-out or -metrics-out
+	traceOut string
+	metrics  string
+	cpuFile  *os.File
+	memProf  string
+	done     bool
+}
+
+// startObs arms the requested observability outputs. Telemetry and
+// profiling failures are fatal up front: asking for a trace and
+// silently losing it is worse than not starting.
+func startObs(traceOut, metrics, cpuProf, memProf string) *obsSession {
+	o := &obsSession{traceOut: traceOut, metrics: metrics, memProf: memProf}
+	if traceOut != "" || metrics != "" {
+		o.tel = vcabench.NewTelemetry()
+		if traceOut != "" {
+			o.tel.Tracer = vcabench.NewTracer()
+		}
+	}
+	if cpuProf != "" {
+		f, err := os.Create(cpuProf)
+		if err == nil {
+			err = pprof.StartCPUProfile(f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcabench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		o.cpuFile = f
+	}
+	return o
+}
+
+// finish writes the trace, metrics and profile outputs. Output errors
+// warn rather than fail: the run's results are already on stdout.
+func (o *obsSession) finish() {
+	if o == nil || o.done {
+		return
+	}
+	o.done = true
+	warn := func(what string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vcabench: warning: %s: %v\n", what, err)
+		}
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err == nil {
+			err = o.tel.Tracer.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		warn("-trace-out", err)
+		o.tel.Tracer.Summary(os.Stderr)
+	}
+	if o.metrics != "" {
+		if o.metrics == "-" {
+			warn("-metrics-out", o.tel.Metrics.WriteText(os.Stderr))
+		} else {
+			f, err := os.Create(o.metrics)
+			if err == nil {
+				err = o.tel.Metrics.WriteText(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			warn("-metrics-out", err)
+		}
+	}
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		warn("-cpuprofile", o.cpuFile.Close())
+	}
+	if o.memProf != "" {
+		f, err := os.Create(o.memProf)
+		if err == nil {
+			// An up-to-date heap picture needs a collection first.
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		warn("-memprofile", err)
+	}
+}
+
 // openPool builds the worker fleet named by -workers, reporting
 // unreachable workers up front (they may still rejoin mid-campaign;
 // cells nobody serves run locally).
-func openPool(spec string) *vcabench.Pool {
+func openPool(spec string, tel *vcabench.Telemetry) *vcabench.Pool {
 	if spec == "" {
 		return nil
 	}
@@ -195,7 +327,7 @@ func openPool(spec string) *vcabench.Pool {
 			urls = append(urls, u)
 		}
 	}
-	pool, err := vcabench.NewPool(urls)
+	pool, err := vcabench.NewPoolOptions(urls, vcabench.PoolOptions{Telemetry: tel})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vcabench:", err)
 		os.Exit(2)
@@ -234,7 +366,7 @@ func reportCache(st *vcabench.Store) {
 
 // runCampaign loads a spec file, runs the grid and writes the text
 // table to stdout plus, optionally, JSON results to jsonPath.
-func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, workers, repeats int, st *vcabench.Store, pool *vcabench.Pool) error {
+func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, workers, repeats int, st *vcabench.Store, pool *vcabench.Pool, tel *vcabench.Telemetry) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return fmt.Errorf("vcabench: %w", err)
@@ -256,6 +388,9 @@ func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, worke
 	}
 	if pool != nil {
 		tb.WithDispatcher(pool)
+	}
+	if tel != nil {
+		tb.WithTelemetry(tel)
 	}
 	res, err := vcabench.RunCampaign(tb, spec, sc)
 	if err != nil {

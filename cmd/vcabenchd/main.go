@@ -27,6 +27,13 @@
 //	GET  /cells/{key}           fetch one cell by canonical unit key
 //	POST /units                 run one campaign cell (worker endpoint)
 //	GET  /healthz               liveness + store statistics
+//	GET  /metrics               Prometheus text exposition (always on)
+//
+// With -pprof the net/http/pprof handlers are additionally mounted
+// under /debug/pprof/ for CPU, heap, goroutine and mutex profiling of
+// a live daemon (`go tool pprof http://host:8547/debug/pprof/profile`).
+// Profiling is off by default: the endpoint serves raw memory contents
+// and belongs behind the same trust boundary as the daemon itself.
 //
 // Example session:
 //
@@ -44,12 +51,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/vcabench/vcabench/internal/core"
+	"github.com/vcabench/vcabench/internal/obs"
 	"github.com/vcabench/vcabench/internal/serve"
 	"github.com/vcabench/vcabench/internal/store"
 )
@@ -63,6 +72,7 @@ func main() {
 		runs     = flag.Int("runs", 0, "concurrently executing campaigns (0 = NumCPU)")
 		cacheDir = flag.String("cache", "", "persist campaign-unit results in this directory")
 		grace    = flag.Duration("grace", time.Minute, "on SIGINT/SIGTERM, wait this long for in-flight work to drain")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -76,9 +86,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vcabenchd: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	cfg := serve.Config{Seed: *seed, Scale: sc, Workers: *parallel, MaxRuns: *runs}
+	// The daemon is always observed: one registry carries serve, engine
+	// and store series, scraped at GET /metrics.
+	tel := obs.NewTelemetry()
+	cfg := serve.Config{Seed: *seed, Scale: sc, Workers: *parallel, MaxRuns: *runs, Telemetry: tel}
 	if *cacheDir != "" {
-		st, err := store.Open(*cacheDir)
+		st, err := store.OpenOptions(*cacheDir, store.Options{Telemetry: tel})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vcabenchd:", err)
 			os.Exit(1)
@@ -86,7 +99,20 @@ func main() {
 		cfg.Store = st
 	}
 	srv := serve.New(cfg)
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		// pprof.Index dispatches /debug/pprof/<name> to every named
+		// profile (heap, goroutine, mutex, ...) itself.
+		outer.HandleFunc("GET /debug/pprof/", pprof.Index)
+		outer.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		handler = outer
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	// First SIGINT/SIGTERM starts a graceful shutdown; stop() then
 	// restores default signal handling, so a second signal kills the
@@ -106,6 +132,9 @@ func main() {
 		shutdownErr <- hs.Shutdown(sctx)
 	}()
 
+	if *pprofOn {
+		log.Printf("vcabenchd: pprof handlers mounted at /debug/pprof/")
+	}
 	log.Printf("vcabenchd: listening on %s (%s)", *addr, srv.Describe())
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal("vcabenchd: ", err)

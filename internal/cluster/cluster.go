@@ -28,10 +28,12 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/vcabench/vcabench/internal/core"
+	"github.com/vcabench/vcabench/internal/obs"
 )
 
 // Defaults for the zero Options.
@@ -65,6 +67,10 @@ type Options struct {
 	// Client overrides the HTTP client (tests); per-request timeouts
 	// are applied via contexts either way.
 	Client *http.Client
+	// Telemetry, when set with a registry, exports the pool counters as
+	// vcabench_cluster_* series. At most one Pool may export into a
+	// given registry. Telemetry never changes dispatch behaviour.
+	Telemetry *obs.Telemetry
 }
 
 func (o Options) withDefaults() Options {
@@ -101,20 +107,48 @@ type Pool struct {
 	opt     Options
 	client  *http.Client
 
-	remote    atomic.Uint64 // units served by the fleet
-	errored   atomic.Uint64 // failed unit attempts (retried or given up)
-	fallbacks atomic.Uint64 // units handed back for local execution
+	// All traffic counters — pool-wide and per-worker — live behind
+	// one mutex rather than scattered atomics, so a Stats snapshot or
+	// a /metrics scrape reads them at a single instant: a unit counted
+	// in a worker's done can never be missing from the pool's remote
+	// in the same view.
+	statsMu sync.Mutex
+	stats   poolCounters
 }
 
-// worker is one vcabenchd endpoint plus its health and traffic state.
+// poolCounters is the mutable half of Stats; workers is indexed like
+// Pool.workers.
+type poolCounters struct {
+	remote    uint64 // units served by the fleet
+	errored   uint64 // failed unit attempts (retried or given up)
+	fallbacks uint64 // units handed back for local execution
+	retries   uint64 // extra attempts after a first failure
+	workers   []workerCounters
+}
+
+// workerCounters is one worker's share of the pool traffic.
+type workerCounters struct {
+	done      uint64
+	errs      uint64
+	cooldowns uint64 // times the worker entered a failure cooldown
+}
+
+// count mutates the counters under the stats lock.
+func (p *Pool) count(f func(*poolCounters)) {
+	p.statsMu.Lock()
+	f(&p.stats)
+	p.statsMu.Unlock()
+}
+
+// worker is one vcabenchd endpoint plus its health state. Traffic
+// counters live in Pool.stats (indexed by idx) so they snapshot
+// consistently.
 type worker struct {
+	idx   int
 	url   string
 	slots chan struct{} // bounds in-flight unit requests
 
 	state atomic.Pointer[workerState]
-
-	done atomic.Uint64
-	errs atomic.Uint64
 }
 
 // workerState is the worker's health snapshot, swapped atomically.
@@ -144,11 +178,54 @@ func New(urls []string, opt Options) (*Pool, error) {
 			return nil, fmt.Errorf("cluster: duplicate worker URL %q", base)
 		}
 		seen[base] = true
-		w := &worker{url: base, slots: make(chan struct{}, p.opt.InFlight)}
+		w := &worker{idx: len(p.workers), url: base, slots: make(chan struct{}, p.opt.InFlight)}
 		w.state.Store(&workerState{})
 		p.workers = append(p.workers, w)
 	}
+	p.stats.workers = make([]workerCounters, len(p.workers))
+	if t := p.opt.Telemetry; t != nil && t.Metrics != nil {
+		t.Metrics.RegisterGroup(p.emitMetrics)
+	}
 	return p, nil
+}
+
+// emitMetrics exports the pool counters on each scrape. The whole
+// fleet's view comes from one lock acquisition — per-worker dispatch
+// counts always sum to the pool totals on the wire.
+func (p *Pool) emitMetrics(g *obs.Group) {
+	p.statsMu.Lock()
+	st := p.stats
+	st.workers = append([]workerCounters(nil), p.stats.workers...)
+	p.statsMu.Unlock()
+
+	result := func(v string) []obs.Label { return []obs.Label{{Name: "result", Value: v}} }
+	g.Emit("vcabench_cluster_units_total", "Unit dispatch outcomes across the fleet.", obs.TypeCounter,
+		obs.Sample{Labels: result("remote"), Value: float64(st.remote)},
+		obs.Sample{Labels: result("error"), Value: float64(st.errored)},
+		obs.Sample{Labels: result("fallback"), Value: float64(st.fallbacks)})
+	g.Emit("vcabench_cluster_retries_total", "Extra dispatch attempts after a first failure.", obs.TypeCounter,
+		obs.Sample{Value: float64(st.retries)})
+
+	units := make([]obs.Sample, 0, 2*len(p.workers))
+	cooldowns := make([]obs.Sample, 0, len(p.workers))
+	inflight := make([]obs.Sample, 0, len(p.workers))
+	for i, w := range p.workers {
+		wl := func(res string) []obs.Label {
+			l := []obs.Label{{Name: "worker", Value: w.url}}
+			if res != "" {
+				l = append(l, obs.Label{Name: "result", Value: res})
+			}
+			return l
+		}
+		units = append(units,
+			obs.Sample{Labels: wl("done"), Value: float64(st.workers[i].done)},
+			obs.Sample{Labels: wl("err"), Value: float64(st.workers[i].errs)})
+		cooldowns = append(cooldowns, obs.Sample{Labels: wl(""), Value: float64(st.workers[i].cooldowns)})
+		inflight = append(inflight, obs.Sample{Labels: wl(""), Value: float64(len(w.slots))})
+	}
+	g.Emit("vcabench_cluster_worker_units_total", "Unit requests per worker, by outcome.", obs.TypeCounter, units...)
+	g.Emit("vcabench_cluster_worker_cooldowns_total", "Times a worker entered a failure cooldown.", obs.TypeCounter, cooldowns...)
+	g.Emit("vcabench_cluster_worker_inflight", "Unit requests currently held by each worker's slots.", obs.TypeGauge, inflight...)
 }
 
 // Workers returns the configured worker base URLs in order.
@@ -182,13 +259,16 @@ func keyHash(key string) uint64 {
 func (p *Pool) DispatchUnit(req core.UnitRequest) ([]byte, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		p.fallbacks.Add(1)
+		p.count(func(c *poolCounters) { c.fallbacks++ })
 		return nil, fmt.Errorf("cluster: encode unit request: %w", err)
 	}
 	start := int(keyHash(req.Key) % uint64(len(p.workers)))
 	backoff := p.opt.Backoff
 	var lastErr error
 	for attempt := 0; attempt <= p.opt.Retries; attempt++ {
+		if attempt > 0 {
+			p.count(func(c *poolCounters) { c.retries++ })
+		}
 		w := p.pick(start + attempt)
 		if w == nil {
 			lastErr = fmt.Errorf("all %d workers down", len(p.workers))
@@ -196,26 +276,32 @@ func (p *Pool) DispatchUnit(req core.UnitRequest) ([]byte, error) {
 		}
 		data, err := p.runUnit(w, body)
 		if err == nil {
-			w.done.Add(1)
-			p.remote.Add(1)
+			p.count(func(c *poolCounters) {
+				c.remote++
+				c.workers[w.idx].done++
+			})
 			return data, nil
 		}
 		lastErr = err
-		p.errored.Add(1)
 		if errors.Is(err, errWorkerDown) {
 			// Siblings already marked the worker down while this unit
 			// sat in its slot queue; move on without re-penalizing it
 			// or paying backoff — nothing was actually sent.
+			p.count(func(c *poolCounters) { c.errored++ })
 			continue
 		}
-		w.errs.Add(1)
+		p.count(func(c *poolCounters) {
+			c.errored++
+			c.workers[w.idx].errs++
+			c.workers[w.idx].cooldowns++
+		})
 		w.markDown(p.opt.Cooldown)
 		if attempt < p.opt.Retries {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
 	}
-	p.fallbacks.Add(1)
+	p.count(func(c *poolCounters) { c.fallbacks++ })
 	return nil, fmt.Errorf("cluster: unit %q: %w", req.Key, lastErr)
 }
 
@@ -294,26 +380,35 @@ type Stats struct {
 	// Fallbacks is the number of units the pool gave up on; core
 	// computed those locally.
 	Fallbacks uint64
+	// Retries is the number of extra attempts made after a first
+	// failure (every retry is also counted in Errors if it fails).
+	Retries uint64
 	// Workers breaks traffic down per worker, in configuration order.
 	Workers []WorkerStats
 }
 
 // WorkerStats is one worker's share of the pool traffic.
 type WorkerStats struct {
-	URL  string
-	Done uint64
-	Errs uint64
+	URL       string
+	Done      uint64
+	Errs      uint64
+	Cooldowns uint64
 }
 
-// Stats snapshots the pool counters.
+// Stats snapshots the pool counters at a single instant — taken under
+// one lock, so per-worker counts always sum to the pool totals.
 func (p *Pool) Stats() Stats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
 	st := Stats{
-		Remote:    p.remote.Load(),
-		Errors:    p.errored.Load(),
-		Fallbacks: p.fallbacks.Load(),
+		Remote:    p.stats.remote,
+		Errors:    p.stats.errored,
+		Fallbacks: p.stats.fallbacks,
+		Retries:   p.stats.retries,
 	}
-	for _, w := range p.workers {
-		st.Workers = append(st.Workers, WorkerStats{URL: w.url, Done: w.done.Load(), Errs: w.errs.Load()})
+	for i, w := range p.workers {
+		c := p.stats.workers[i]
+		st.Workers = append(st.Workers, WorkerStats{URL: w.url, Done: c.done, Errs: c.errs, Cooldowns: c.cooldowns})
 	}
 	return st
 }

@@ -11,6 +11,7 @@ import (
 
 	"github.com/vcabench/vcabench/internal/geo"
 	"github.com/vcabench/vcabench/internal/media"
+	"github.com/vcabench/vcabench/internal/obs"
 	"github.com/vcabench/vcabench/internal/platform"
 	"github.com/vcabench/vcabench/internal/report"
 	"github.com/vcabench/vcabench/internal/simnet"
@@ -925,15 +926,41 @@ func RunCampaign(tb *Testbed, spec Campaign, sc Scale) (*CampaignResult, error) 
 	for _, c := range cells {
 		keys = append(keys, rc.unitKeys(c)...)
 	}
+	// Trace the lifecycle: one campaign span, an envelope span per cell
+	// (and per replica when replicated) whose extent derives from its
+	// unit children, and the per-unit parent map runMemoized hangs unit
+	// spans off. All observational — res never depends on tr.
+	tr := tb.tracer()
+	var campSpan obs.SpanID
+	var parents map[string]obs.SpanID
+	if tr != nil {
+		campSpan = tr.Start(0, obs.TierCampaign, rc.name,
+			obs.Label{Name: "scale", Value: sc.Name},
+			obs.Label{Name: "cells", Value: strconv.Itoa(len(cells))},
+			obs.Label{Name: "repeats", Value: strconv.Itoa(reps)})
+		parents = make(map[string]obs.SpanID, len(keys))
+		for _, c := range cells {
+			cellSpan := tr.Open(campSpan, obs.TierCell, c.key)
+			if reps == 1 {
+				parents[c.key] = cellSpan
+			} else {
+				for k := 0; k < reps; k++ {
+					rk := replicaKey(c.key, k)
+					parents[rk] = tr.Open(cellSpan, obs.TierReplica, rk)
+				}
+			}
+		}
+	}
 	// The remote tier (nil without a dispatcher) offers units the memo
 	// and store don't hold to the worker fleet; unserved units fall
 	// back to the local scheduler below, so fleet topology and failures
 	// never reach the merged result. Unit i belongs to cell i/reps
 	// (cell-major key layout); the cell's axes are shared by all its
 	// replicas while the per-unit key alone differentiates their seeds.
-	res := tb.runMemoized(sc, rc.salt(), keys, func(stb *Testbed, i int) any {
+	res := tb.runMemoized(sc, rc.salt(), keys, parents, func(stb *Testbed, i int) any {
 		return runCell(stb, cells[i/reps], sc)
 	}, tb.remoteRunner(spec, sc))
+	tr.End(campSpan)
 	out := &CampaignResult{
 		Name:        spec.Name,
 		Description: spec.Description,

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"github.com/vcabench/vcabench/internal/obs"
 )
 
 // This file is the campaign scheduler: the paper's evaluation is a set
@@ -44,6 +46,10 @@ func (tb *Testbed) Fork(unitKey string) *Testbed {
 	for k, cfg := range tb.overrides {
 		ntb.overrides[k] = cfg
 	}
+	// Telemetry rides along so nested campaign work on the fork reports
+	// into the same registry and tracer; it never influences results.
+	ntb.tel = tb.tel
+	ntb.em = tb.em
 	return ntb
 }
 
@@ -156,23 +162,48 @@ func (s *Scheduler) Run(units []Unit) {
 // worker fleet concurrently, and only the units the fleet cannot serve
 // reach the local scheduler — so a dead or shrinking fleet degrades to
 // plain local execution, never to a failed or divergent campaign.
-func (tb *Testbed) runMemoized(sc Scale, salt string, keys []string, run func(stb *Testbed, i int) any, remote func(key string) (any, bool)) []any {
+//
+// parents, when non-nil, maps unit keys to their enclosing trace span
+// (the cell or replica envelope RunCampaign opened); every unit then
+// records a span tree — unit → {memo, store, dispatch, local-run} —
+// ending at whichever tier served it. Telemetry is observational only:
+// out never depends on whether it is attached.
+func (tb *Testbed) runMemoized(sc Scale, salt string, keys []string, parents map[string]obs.SpanID, run func(stb *Testbed, i int) any, remote func(key string) (any, bool)) []any {
+	tr := tb.tracer()
 	out := make([]any, len(keys))
+	var uspans []obs.SpanID
+	starts := make([]int64, len(keys))
+	if tr != nil {
+		uspans = make([]obs.SpanID, len(keys))
+	}
 	var missing []int
 	for i, k := range keys {
-		if v, ok := tb.memoGet(k); ok {
+		starts[i] = tb.now()
+		us := tr.Start(parents[k], obs.TierUnit, k)
+		if uspans != nil {
+			uspans[i] = us
+		}
+		ms := tr.Start(us, obs.TierMemo, k)
+		v, ok := tb.memoGet(k)
+		tr.End(ms)
+		if ok {
 			out[i] = v
+			tb.finishUnit(us, "memo", starts[i])
 			continue
 		}
-		if v, ok := tb.storeGet(sc, salt, k); ok {
+		ss := tr.Start(us, obs.TierStore, k)
+		v, ok = tb.storeGet(sc, salt, k)
+		tr.End(ss)
+		if ok {
 			out[i] = v
 			tb.memoPut(k, v)
+			tb.finishUnit(us, "store", starts[i])
 			continue
 		}
 		missing = append(missing, i)
 	}
 	if remote != nil && len(missing) > 0 {
-		missing = tb.dispatchRemote(sc, salt, keys, out, missing, remote)
+		missing = tb.dispatchRemote(sc, salt, keys, out, missing, remote, uspans, starts)
 	}
 	if len(missing) == 0 {
 		return out
@@ -181,7 +212,16 @@ func (tb *Testbed) runMemoized(sc Scale, salt string, keys []string, run func(st
 	for j, i := range missing {
 		i := i
 		units[j] = Unit{Key: keys[i], Run: func(stb *Testbed) {
+			ls := tr.Start(spanAt(uspans, i), obs.TierLocalRun, keys[i])
+			if tb.em != nil {
+				tb.em.inflight.Inc()
+			}
 			out[i] = run(stb, i)
+			if tb.em != nil {
+				tb.em.inflight.Dec()
+			}
+			tr.End(ls)
+			tb.finishUnit(spanAt(uspans, i), "local", starts[i])
 		}}
 	}
 	(&Scheduler{TB: tb}).Run(units)
@@ -202,7 +242,8 @@ func (tb *Testbed) runMemoized(sc Scale, salt string, keys []string, run func(st
 // gob value reproduces the worker's bytes, so the coordinator's store
 // matches a single-machine run's). It returns the indices the caller
 // must compute locally, in input order.
-func (tb *Testbed) dispatchRemote(sc Scale, salt string, keys []string, out []any, missing []int, remote func(key string) (any, bool)) []int {
+func (tb *Testbed) dispatchRemote(sc Scale, salt string, keys []string, out []any, missing []int, remote func(key string) (any, bool), uspans []obs.SpanID, starts []int64) []int {
+	tr := tb.tracer()
 	var (
 		wg    sync.WaitGroup
 		mu    sync.Mutex
@@ -213,8 +254,18 @@ func (tb *Testbed) dispatchRemote(sc Scale, salt string, keys []string, out []an
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if v, ok := remote(keys[i]); ok {
+			ds := tr.Start(spanAt(uspans, i), obs.TierDispatch, keys[i])
+			if tb.em != nil {
+				tb.em.inflight.Inc()
+			}
+			v, ok := remote(keys[i])
+			if tb.em != nil {
+				tb.em.inflight.Dec()
+			}
+			tr.End(ds)
+			if ok {
 				out[i] = v
+				tb.finishUnit(spanAt(uspans, i), "dispatch", starts[i])
 				return
 			}
 			mu.Lock()

@@ -116,8 +116,8 @@ func TestRunMemoized(t *testing.T) {
 		return stb.seed
 	}
 	keys := []string{"a", "b", "c"}
-	first := tb.runMemoized(TinyScale, "", keys, run, nil)
-	again := tb.runMemoized(TinyScale, "", keys, run, nil)
+	first := tb.runMemoized(TinyScale, "", keys, nil, run, nil)
+	again := tb.runMemoized(TinyScale, "", keys, nil, run, nil)
 	if calls.Load() != int64(len(keys)) {
 		t.Errorf("ran %d units, want %d (memo miss on repeat?)", calls.Load(), len(keys))
 	}
@@ -130,7 +130,7 @@ func TestRunMemoized(t *testing.T) {
 		}
 	}
 	// Partial overlap: only the new key runs.
-	tb.runMemoized(TinyScale, "", []string{"b", "d"}, run, nil)
+	tb.runMemoized(TinyScale, "", []string{"b", "d"}, nil, run, nil)
 	if calls.Load() != int64(len(keys))+1 {
 		t.Errorf("partial-overlap call ran %d total units, want %d", calls.Load(), len(keys)+1)
 	}

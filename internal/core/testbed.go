@@ -19,6 +19,7 @@ import (
 	"github.com/vcabench/vcabench/internal/client"
 	"github.com/vcabench/vcabench/internal/geo"
 	"github.com/vcabench/vcabench/internal/media"
+	"github.com/vcabench/vcabench/internal/obs"
 	"github.com/vcabench/vcabench/internal/platform"
 	"github.com/vcabench/vcabench/internal/simnet"
 )
@@ -57,6 +58,12 @@ type Testbed struct {
 	// to a worker fleet; nil means every unit computes in-process. See
 	// dispatch.go.
 	dispatcher Dispatcher
+
+	// tel, when set via WithTelemetry, receives metrics and spans from
+	// the scheduler; em caches its engine instruments. Both nil means
+	// unobserved — every hook is a no-op. See telemetry.go.
+	tel *obs.Telemetry
+	em  *engineMetrics
 }
 
 // registerCampaign records (or re-checks) the fingerprint of a named

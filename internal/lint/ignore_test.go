@@ -27,6 +27,9 @@ func TestDeterministicPath(t *testing.T) {
 		{"github.com/vcabench/vcabench/internal/cluster", false},
 		{"github.com/vcabench/vcabench/internal/serve", false},
 		{"github.com/vcabench/vcabench/internal/capture", false},
+		// The telemetry layer holds the real clock; everything else
+		// reads time through an injected obs.Clock.
+		{"github.com/vcabench/vcabench/internal/obs", false},
 		{"github.com/vcabench/vcabench/cmd/vcabench", false},
 		{"github.com/vcabench/vcabench/examples/cluster", false},
 		{"github.com/vcabench/vcabench", false},

@@ -17,7 +17,10 @@
 // they must produce byte-identical results on every run, at any
 // parallelism, on any machine. A short allowlist faces real networks or
 // real hosts and legitimately reads wall clocks: internal/realnet,
-// internal/cluster, internal/serve and internal/capture. Commands and
+// internal/cluster, internal/serve, internal/capture and internal/obs
+// (the telemetry layer, where wall time is the subject matter and the
+// real clock lives; deterministic packages read it only through an
+// injected obs.Clock). Commands and
 // examples are drivers, not simulation code. walltime, globalrand and
 // floatfmt apply only to deterministic packages; maprange and storekey
 // apply everywhere.
@@ -121,6 +124,11 @@ var allowlisted = []string{
 	"internal/cluster",
 	"internal/serve",
 	"internal/capture",
+	// obs is the telemetry layer: wall time is its subject matter (it
+	// measures the host, not the simulation), and it is the single
+	// place the real clock lives. Deterministic packages stay clean by
+	// reading time only through an injected obs.Clock.
+	"internal/obs",
 }
 
 // DeterministicPath reports whether the import path names a package

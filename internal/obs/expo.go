@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// familySnapshot is one family frozen at scrape time: instrument
+// families are copied out under their lock, group families arrive
+// pre-frozen from the collector.
+type familySnapshot struct {
+	name    string
+	help    string
+	typ     MetricType
+	samples []sampleSnapshot
+}
+
+// sampleSnapshot is one rendered line: name+suffix{labels} value.
+// Histograms expand to _bucket/_sum/_count suffixes; everything else
+// has an empty suffix.
+type sampleSnapshot struct {
+	suffix string
+	labels []Label
+	value  float64
+}
+
+// labelSignature orders samples deterministically within a family:
+// suffix first (so _bucket series group together, ascending le), then
+// label values. Rendering order must never depend on map iteration.
+func (s sampleSnapshot) labelSignature() string {
+	var b strings.Builder
+	b.WriteString(s.suffix)
+	for _, l := range s.labels {
+		b.WriteByte(0)
+		b.WriteString(l.Name)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// snapshot freezes every family — instruments and group collectors —
+// into a sorted, render-ready list. Group collectors run outside the
+// registry lock (they take their component's lock and may be slow).
+func (r *Registry) snapshot() ([]*familySnapshot, error) {
+	r.mu.Lock()
+	instr := make([]*family, 0, len(r.families))
+	//vcalint:ignore maprange the families collected here are sorted by name below, after group families join them
+	for _, f := range r.families {
+		instr = append(instr, f)
+	}
+	groups := append([]GroupFunc(nil), r.groups...)
+	r.mu.Unlock()
+
+	var snaps []*familySnapshot
+	for _, f := range instr {
+		snaps = append(snaps, f.snapshot())
+	}
+	for _, gf := range groups {
+		g := &Group{}
+		gf(g)
+		snaps = append(snaps, g.fams...)
+	}
+
+	// Families sort by name; samples within a family are already in
+	// deterministic order (instrument snapshots iterate sorted series
+	// keys and keep buckets in ascending le order, which a global
+	// lexical re-sort would destroy; group samples are sorted by Emit).
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].name < snaps[j].name })
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].name == snaps[i-1].name {
+			return nil, fmt.Errorf("obs: metric family %q emitted by more than one source", snaps[i].name)
+		}
+	}
+	return snaps, nil
+}
+
+// snapshot freezes one instrument family. Series order is fixed by
+// sorting the collected keys — the map is never ranged for output.
+func (f *family) snapshot() *familySnapshot {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	list := make([]*series, len(keys))
+	for i, k := range keys {
+		list[i] = f.series[k]
+	}
+	f.mu.Unlock()
+
+	snap := &familySnapshot{name: f.name, help: f.help, typ: f.typ}
+	for _, s := range list {
+		labels := make([]Label, len(f.labels))
+		for i, ln := range f.labels {
+			labels[i] = Label{Name: ln, Value: s.labelValues[i]}
+		}
+		switch f.typ {
+		case TypeHistogram:
+			// Count first, then buckets and sum: Observe bumps count
+			// last, so this read order can undercount a racing
+			// observation but never yields +Inf (synthesized from
+			// count) below a finite bucket.
+			count := s.count.Load()
+			for i, ub := range f.buckets {
+				bl := append(append([]Label(nil), labels...),
+					Label{Name: "le", Value: formatBound(ub)})
+				c := s.bucketCounts[i].Load()
+				if c > count {
+					c = count
+				}
+				snap.samples = append(snap.samples, sampleSnapshot{
+					suffix: "_bucket", labels: bl, value: float64(c),
+				})
+			}
+			inf := append(append([]Label(nil), labels...), Label{Name: "le", Value: "+Inf"})
+			snap.samples = append(snap.samples,
+				sampleSnapshot{suffix: "_bucket", labels: inf, value: float64(count)},
+				sampleSnapshot{suffix: "_sum", labels: labels, value: floatFromBits(s.sum.Load())},
+				sampleSnapshot{suffix: "_count", labels: labels, value: float64(count)},
+			)
+		case TypeGauge:
+			snap.samples = append(snap.samples, sampleSnapshot{
+				labels: labels, value: floatFromBits(s.val.Load()),
+			})
+		default: // counter: val holds an integer count, not float bits
+			snap.samples = append(snap.samples, sampleSnapshot{
+				labels: labels, value: float64(s.val.Load()),
+			})
+		}
+	}
+	return snap
+}
+
+// formatBound renders a histogram upper bound the way Prometheus does:
+// shortest round-trip representation.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteText renders every family in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, series sorted by suffix
+// and label values, one HELP and TYPE line per family.
+func (r *Registry) WriteText(w io.Writer) error {
+	snaps, err := r.snapshot()
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	for _, f := range snaps {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			b.WriteString(f.name)
+			b.WriteString(s.suffix)
+			if len(s.labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(l.Name)
+					b.WriteString(`="`)
+					b.WriteString(escapeLabelValue(l.Value))
+					b.WriteByte('"')
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatFloat(s.value, 'g', -1, 64))
+			b.WriteByte('\n')
+		}
+	}
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the registry in text exposition format; mount it at
+// GET /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+func floatFromBits(b uint64) float64 {
+	return math.Float64frombits(b)
+}

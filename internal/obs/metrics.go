@@ -1,0 +1,354 @@
+// Package obs is the operational telemetry layer: a concurrent metrics
+// registry with Prometheus text exposition, a span tracer for the
+// campaign lifecycle, and the monotonic Clock seam instrumented
+// packages read time through. It is stdlib-only and strictly inert:
+// nothing in this package feeds back into experiment results, so every
+// byte-identity guarantee in the engine holds with telemetry enabled.
+//
+// Two recording styles coexist in one Registry:
+//
+//   - Instruments (Counter, Gauge, Histogram and their labeled *Vec
+//     forms) are lock-free atomics for hot paths, created get-or-create
+//     by name so independent components (or many Testbeds) can share a
+//     series without coordinating.
+//   - Group collectors (RegisterGroup) snapshot a component's related
+//     series under that component's own lock at scrape time, so a
+//     /metrics read never shows a torn view of counters that are
+//     updated together (the cluster pool's per-worker stats, the
+//     store's hit/miss/put counters, the daemon's job states).
+//
+// Exposition (WriteText, Handler) renders the merged families in
+// Prometheus text format with fully deterministic ordering: families
+// sort by name, series by label values — no map-iteration order ever
+// reaches the wire.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType classifies a family for the TYPE exposition line.
+type MetricType string
+
+// The exposition types this registry produces.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// DefBuckets are the default histogram bounds in seconds: campaign
+// units run hundreds of milliseconds to minutes, store IO runs
+// microseconds to milliseconds, and this ladder spans both.
+var DefBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// Label is one name/value pair on a series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one series reading emitted by a group collector.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// GroupFunc emits one component's related metric families in a single
+// call, typically under the component's own lock, so a scrape sees a
+// consistent snapshot across all of them.
+type GroupFunc func(g *Group)
+
+// Registry holds metric families and group collectors. The zero value
+// is not usable; call NewRegistry. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	groups   []GroupFunc
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed type, help text and label
+// schema, holding one series per distinct label-value tuple.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one labeled time series. Counters and gauges use val
+// (gauges as float bits, counters as integer counts); histograms use
+// the bucket/sum/count trio.
+type series struct {
+	labelValues []string
+
+	val atomic.Uint64
+
+	bucketCounts []atomic.Uint64 // one per finite bucket bound
+	sum          atomic.Uint64   // float bits
+	count        atomic.Uint64
+}
+
+// seriesKey joins label values unambiguously (values may contain any
+// byte; \x00 cannot appear in both sides of a collision because each
+// value's length changes the escaping).
+func seriesKey(values []string) string {
+	return strings.Join(values, "\x00")
+}
+
+// validName matches Prometheus metric and label name syntax.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && !(i > 0 && r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns (creating if needed) the family, panicking on a
+// schema mismatch: two call sites disagreeing about a metric's type,
+// help or labels is a programming error no scrape should paper over.
+func (r *Registry) lookup(name, help string, typ MetricType, labels []string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) || l == "le" {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, typ: typ,
+			labels:  append([]string(nil), labels...),
+			buckets: append([]float64(nil), buckets...),
+			series:  make(map[string]*series),
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ || f.help != help || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with a different type, help, labels or buckets", name))
+	}
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// with returns (creating if needed) the series for the label values.
+func (f *family) with(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), values...)}
+		if f.typ == TypeHistogram {
+			s.bucketCounts = make([]atomic.Uint64, len(f.buckets))
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing count of events.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.val.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.s.val.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.s.val.Load() }
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating the
+// series on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return &Counter{s: v.f.with(values)}
+}
+
+// Gauge is a value that goes up and down.
+type Gauge struct{ s *series }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v float64) { g.s.val.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.s.val.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.s.val.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.val.Load()) }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return &Gauge{s: v.f.with(values)}
+}
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records one value. The +Inf bucket is implicit (every
+// observation lands in it via the series count).
+func (h *Histogram) Observe(v float64) {
+	// Buckets are cumulative: an observation increments every bucket
+	// whose upper bound admits it. Walking from the first admitting
+	// bound keeps the invariant with one pass.
+	i := sort.SearchFloat64s(h.buckets, v)
+	for ; i < len(h.buckets); i++ {
+		h.s.bucketCounts[i].Add(1)
+	}
+	for {
+		old := h.s.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.s.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	// Count is bumped last and scrapes read it first, so a concurrent
+	// scrape never sees count ahead of the buckets (the +Inf sample is
+	// synthesized from count, keeping +Inf == count exact).
+	h.s.count.Add(1)
+}
+
+// Count reads the number of observations.
+func (h *Histogram) Count() uint64 { return h.s.count.Load() }
+
+// Counter returns (creating if needed) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{s: r.lookup(name, help, TypeCounter, nil, nil).with(nil)}
+}
+
+// CounterVec returns (creating if needed) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.lookup(name, help, TypeCounter, labels, nil)}
+}
+
+// Gauge returns (creating if needed) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{s: r.lookup(name, help, TypeGauge, nil, nil).with(nil)}
+}
+
+// GaugeVec returns (creating if needed) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.lookup(name, help, TypeGauge, labels, nil)}
+}
+
+// Histogram returns (creating if needed) an unlabeled histogram with
+// the given finite bucket bounds (ascending; +Inf is implicit). Nil
+// buckets select DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q buckets must be sorted ascending", name))
+	}
+	f := r.lookup(name, help, TypeHistogram, nil, buckets)
+	return &Histogram{s: f.with(nil), buckets: f.buckets}
+}
+
+// RegisterGroup adds a consistent-snapshot collector: f is called on
+// every scrape and emits whole families through the Group. Families
+// emitted by groups must not collide with instrument families or with
+// other groups — WriteText reports the collision as an error.
+func (r *Registry) RegisterGroup(f GroupFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.groups = append(r.groups, f)
+}
+
+// Group receives one collector's families during a scrape.
+type Group struct {
+	fams []*familySnapshot
+}
+
+// Emit contributes one family snapshot. Samples are rendered in sorted
+// label order regardless of emission order.
+func (g *Group) Emit(name, help string, typ MetricType, samples ...Sample) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	snap := &familySnapshot{name: name, help: help, typ: typ}
+	for _, s := range samples {
+		snap.samples = append(snap.samples, sampleSnapshot{
+			suffix: "", labels: append([]Label(nil), s.Labels...), value: s.Value,
+		})
+	}
+	sort.Slice(snap.samples, func(i, j int) bool {
+		return snap.samples[i].labelSignature() < snap.samples[j].labelSignature()
+	})
+	g.fams = append(g.fams, snap)
+}

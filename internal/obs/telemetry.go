@@ -1,0 +1,32 @@
+package obs
+
+// Telemetry bundles the three seams a component needs to be observed:
+// a metrics registry, an optional span tracer, and the clock both read
+// time through. Components receive a *Telemetry as plain data — never
+// construct clocks or read wall time themselves — which is what keeps
+// the deterministic packages walltime-free under vcalint while still
+// measuring real latencies in production.
+//
+// A nil *Telemetry (and a nil Tracer inside a non-nil one) is valid
+// everywhere and records nothing.
+type Telemetry struct {
+	Metrics *Registry
+	Tracer  *Tracer
+	Clock   Clock
+}
+
+// NewTelemetry builds the standard production bundle: a fresh registry
+// and the real monotonic clock, with tracing off until a Tracer is
+// attached.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{Metrics: NewRegistry(), Clock: RealClock{}}
+}
+
+// Now reads the bundle's clock; zero when the bundle or clock is nil,
+// so duration math degrades to zero rather than panicking.
+func (t *Telemetry) Now() int64 {
+	if t == nil || t.Clock == nil {
+		return 0
+	}
+	return t.Clock.Now()
+}

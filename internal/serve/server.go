@@ -53,6 +53,7 @@ import (
 	"sync"
 
 	"github.com/vcabench/vcabench/internal/core"
+	"github.com/vcabench/vcabench/internal/obs"
 	"github.com/vcabench/vcabench/internal/report"
 	"github.com/vcabench/vcabench/internal/store"
 )
@@ -78,6 +79,12 @@ type Config struct {
 	// it, served warm from the store. Queued and running jobs are
 	// never evicted.
 	MaxJobs int
+	// Telemetry, when set with a registry, mounts GET /metrics on the
+	// handler, exports job and unit counters, and attaches the bundle
+	// to every job's testbed so engine series (units, in-flight, wall
+	// time) report here too. At most one Server may export into a given
+	// registry. Telemetry never changes results.
+	Telemetry *obs.Telemetry
 }
 
 // DefaultMaxJobs bounds retained finished jobs when Config.MaxJobs is
@@ -90,6 +97,12 @@ const DefaultMaxJobs = 256
 type Server struct {
 	cfg Config
 	sem chan struct{} // bounds concurrent campaign executions
+
+	// tel and its counters are set once in New and read-only after;
+	// nil means unobserved.
+	tel        *obs.Telemetry
+	mUnits     *obs.Counter
+	mCampaigns *obs.Counter
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -136,13 +149,54 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = DefaultMaxJobs
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxRuns),
 		jobs:     make(map[string]*job),
 		cells:    make(map[string][]byte),
 		cellRefs: make(map[string]int),
 	}
+	if cfg.Telemetry != nil && cfg.Telemetry.Metrics != nil {
+		s.tel = cfg.Telemetry
+		reg := s.tel.Metrics
+		s.mCampaigns = reg.Counter("vcabench_serve_campaigns_total",
+			"Campaign jobs accepted (deduplicated resubmissions not counted).")
+		s.mUnits = reg.Counter("vcabench_serve_units_total",
+			"Units executed for distributed coordinators via POST /units.")
+		// Pre-create the engine families so a scrape before the first
+		// job already shows the full catalog.
+		core.RegisterEngineMetrics(reg)
+		reg.RegisterGroup(s.emitMetrics)
+	}
+	return s
+}
+
+// emitMetrics exports the job table on each scrape: one gauge per
+// lifecycle state, counted under the server's own lock so the states
+// always sum to the job total in a single view.
+func (s *Server) emitMetrics(g *obs.Group) {
+	var queued, running, done, failed float64
+	s.mu.Lock()
+	//vcalint:ignore maprange order-independent tally into fixed counters; nothing is emitted per entry
+	for _, j := range s.jobs {
+		switch j.status {
+		case "queued":
+			queued++
+		case "running":
+			running++
+		case "done":
+			done++
+		case "failed":
+			failed++
+		}
+	}
+	s.mu.Unlock()
+	status := func(v string) []obs.Label { return []obs.Label{{Name: "status", Value: v}} }
+	g.Emit("vcabench_jobs", "Retained campaign jobs by lifecycle state.", obs.TypeGauge,
+		obs.Sample{Labels: status("queued"), Value: queued},
+		obs.Sample{Labels: status("running"), Value: running},
+		obs.Sample{Labels: status("done"), Value: done},
+		obs.Sample{Labels: status("failed"), Value: failed})
 }
 
 // Handler returns the server's HTTP routes.
@@ -154,6 +208,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /cells/{key...}", s.handleCell)
 	mux.HandleFunc("POST /units", s.handleUnit)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.tel != nil {
+		mux.Handle("GET /metrics", obs.Handler(s.tel.Metrics))
+	}
 	return mux
 }
 
@@ -240,6 +297,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			spec: spec, status: "queued", done: make(chan struct{}),
 		}
 		s.jobs[id] = j
+		if s.mCampaigns != nil {
+			s.mCampaigns.Inc()
+		}
 		go s.run(j, sc)
 	}
 	st := s.statusOf(j)
@@ -296,6 +356,9 @@ func (s *Server) run(j *job, sc core.Scale) {
 	tb := core.NewTestbed(j.seed).SetParallelism(s.cfg.Workers)
 	if s.cfg.Store != nil {
 		tb.WithStore(s.cfg.Store)
+	}
+	if s.tel != nil {
+		tb.WithTelemetry(s.tel)
 	}
 	res, err := core.RunCampaign(tb, j.spec, sc)
 	if err != nil {
@@ -538,7 +601,14 @@ func (s *Server) runUnit(spec core.Campaign, sc core.Scale, seed int64, key stri
 	if s.cfg.Store != nil {
 		tb.WithStore(s.cfg.Store)
 	}
-	return core.RunCampaignUnit(tb, spec, sc, key)
+	if s.tel != nil {
+		tb.WithTelemetry(s.tel)
+	}
+	data, err = core.RunCampaignUnit(tb, spec, sc, key)
+	if err == nil && s.mUnits != nil {
+		s.mUnits.Inc()
+	}
+	return data, err
 }
 
 // health is the GET /healthz document.

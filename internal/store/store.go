@@ -27,6 +27,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"github.com/vcabench/vcabench/internal/obs"
 )
 
 // DefaultLRUBytes bounds the in-memory front when Options.LRUBytes is
@@ -42,6 +44,14 @@ type Options struct {
 	// LRUBytes bounds the in-memory front in payload bytes; <= 0 means
 	// DefaultLRUBytes. Entries larger than the bound bypass the front.
 	LRUBytes int64
+
+	// Telemetry, when set with a registry, exports the traffic counters
+	// as vcabench_store_* series (snapshotted under the store's lock so
+	// a scrape never tears them) and times Get/Put into read/write
+	// latency histograms through the bundle's clock. At most one Store
+	// may export into a given registry. Telemetry never changes store
+	// behaviour.
+	Telemetry *obs.Telemetry
 }
 
 // Stats counts store traffic since Open. Snapshot via Store.Stats.
@@ -60,6 +70,12 @@ func (st Stats) Hits() uint64 { return st.MemHits + st.DiskHits }
 type Store struct {
 	dir      string
 	lruBytes int64
+
+	// tel and the latency histograms are set once at OpenOptions and
+	// read-only after; nil histograms mean unobserved Get/Put.
+	tel      *obs.Telemetry
+	readSec  *obs.Histogram
+	writeSec *obs.Histogram
 
 	mu       sync.Mutex
 	lru      *list.List // *lruEntry, front = most recently used
@@ -84,12 +100,43 @@ func OpenOptions(dir string, o Options) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o777); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{
+	s := &Store{
 		dir:      dir,
 		lruBytes: o.LRUBytes,
 		lru:      list.New(),
 		idx:      make(map[string]*list.Element),
-	}, nil
+	}
+	if o.Telemetry != nil && o.Telemetry.Metrics != nil {
+		s.tel = o.Telemetry
+		s.readSec = o.Telemetry.Metrics.Histogram("vcabench_store_read_seconds",
+			"Store Get latency (memory front and disk alike).", nil)
+		s.writeSec = o.Telemetry.Metrics.Histogram("vcabench_store_write_seconds",
+			"Store Put latency, including the atomic rename commit.", nil)
+		o.Telemetry.Metrics.RegisterGroup(s.emitMetrics)
+	}
+	return s, nil
+}
+
+// emitMetrics exports the traffic counters on each scrape. One lock
+// acquisition snapshots every series, so hits, misses, puts and the
+// LRU fill are always mutually consistent on the wire.
+func (s *Store) emitMetrics(g *obs.Group) {
+	s.mu.Lock()
+	st := s.stats
+	cur := s.curBytes
+	s.mu.Unlock()
+	tier := func(v string) []obs.Label { return []obs.Label{{Name: "tier", Value: v}} }
+	g.Emit("vcabench_store_hits_total", "Cell reads served, by tier.", obs.TypeCounter,
+		obs.Sample{Labels: tier("mem"), Value: float64(st.MemHits)},
+		obs.Sample{Labels: tier("disk"), Value: float64(st.DiskHits)})
+	g.Emit("vcabench_store_misses_total", "Cell reads that found no entry.", obs.TypeCounter,
+		obs.Sample{Value: float64(st.Misses)})
+	g.Emit("vcabench_store_puts_total", "Cell entries written.", obs.TypeCounter,
+		obs.Sample{Value: float64(st.Puts)})
+	g.Emit("vcabench_store_corrupt_total", "Unreadable cell files, reported as misses.", obs.TypeCounter,
+		obs.Sample{Value: float64(st.Corrupt)})
+	g.Emit("vcabench_store_lru_bytes", "Payload bytes resident in the LRU front.", obs.TypeGauge,
+		obs.Sample{Value: float64(cur)})
 }
 
 // Dir returns the store's root directory.
@@ -114,6 +161,16 @@ func (s *Store) path(key string) string {
 // Get returns the payload stored under key. The returned slice is
 // shared with the LRU front and must be treated as read-only.
 func (s *Store) Get(key string) ([]byte, bool) {
+	if s.readSec == nil {
+		return s.get(key)
+	}
+	t0 := s.tel.Now()
+	data, ok := s.get(key)
+	s.readSec.Observe(float64(s.tel.Now()-t0) / 1e9)
+	return data, ok
+}
+
+func (s *Store) get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	if el, ok := s.idx[key]; ok {
 		s.lru.MoveToFront(el)
@@ -145,6 +202,16 @@ func (s *Store) Get(key string) ([]byte, bool) {
 
 // Put persists data under key, atomically replacing any prior entry.
 func (s *Store) Put(key string, data []byte) error {
+	if s.writeSec == nil {
+		return s.put(key, data)
+	}
+	t0 := s.tel.Now()
+	err := s.put(key, data)
+	s.writeSec.Observe(float64(s.tel.Now()-t0) / 1e9)
+	return err
+}
+
+func (s *Store) put(key string, data []byte) error {
 	objPath := s.path(key)
 	objDir := filepath.Dir(objPath)
 	if err := os.MkdirAll(objDir, 0o777); err != nil {

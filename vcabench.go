@@ -34,11 +34,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 
 	"github.com/vcabench/vcabench/internal/cluster"
 	"github.com/vcabench/vcabench/internal/core"
 	"github.com/vcabench/vcabench/internal/geo"
 	"github.com/vcabench/vcabench/internal/media"
+	"github.com/vcabench/vcabench/internal/obs"
 	"github.com/vcabench/vcabench/internal/platform"
 	"github.com/vcabench/vcabench/internal/report"
 	"github.com/vcabench/vcabench/internal/store"
@@ -129,6 +131,22 @@ type (
 	PoolOptions = cluster.Options
 	// PoolStats counts pool traffic (remote units, errors, fallbacks).
 	PoolStats = cluster.Stats
+	// Telemetry bundles the observability seams — metrics registry,
+	// span tracer, clock — that a Testbed, Store or Pool reports
+	// through (see Testbed.WithTelemetry). Telemetry never changes
+	// results, only records how they were produced.
+	Telemetry = obs.Telemetry
+	// MetricsRegistry collects counters, gauges and histograms and
+	// renders them in Prometheus text exposition format (WriteText).
+	MetricsRegistry = obs.Registry
+	// Tracer records campaign execution spans (campaign → cell →
+	// replica → unit → memo/store/dispatch/local-run); export with
+	// WriteJSONL, summarize per tier with Summary.
+	Tracer = obs.Tracer
+	// Clock is the monotonic time source telemetry reads through.
+	Clock = obs.Clock
+	// StoreOptions tunes OpenStoreOptions (LRU bound, telemetry).
+	StoreOptions = store.Options
 )
 
 // Scales.
@@ -265,6 +283,10 @@ type RunOpts struct {
 	// Experiments that are not campaign-backed (the lag figures)
 	// ignore it.
 	Dispatcher Dispatcher
+	// Telemetry, when non-nil, records engine metrics and (with a
+	// Tracer attached) execution spans for the run. Telemetry never
+	// changes rendered bytes, only observes how they were produced.
+	Telemetry *Telemetry
 }
 
 // ErrStore marks cell-persistence failures returned by RunWithOpts:
@@ -289,6 +311,9 @@ func RunWithOpts(id string, seed int64, sc Scale, opts RunOpts, w io.Writer) err
 	if opts.Dispatcher != nil {
 		tb.WithDispatcher(opts.Dispatcher)
 	}
+	if opts.Telemetry != nil {
+		tb.WithTelemetry(opts.Telemetry)
+	}
 	e.Run(tb, sc, w)
 	if err := tb.StoreErr(); err != nil {
 		return fmt.Errorf("%w: %v", ErrStore, err)
@@ -300,6 +325,26 @@ func RunWithOpts(id string, seed int64, sc Scale, opts RunOpts, w io.Writer) err
 // dir, shareable between the CLI, the vcabenchd daemon and library
 // callers — across processes and concurrently.
 func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// OpenStoreOptions is OpenStore with explicit tuning (LRU bound,
+// telemetry).
+func OpenStoreOptions(dir string, o StoreOptions) (*Store, error) {
+	return store.OpenOptions(dir, o)
+}
+
+// NewTelemetry builds the standard production telemetry bundle: a
+// fresh metrics registry and the host's monotonic clock, with span
+// tracing off until a Tracer is attached (see NewTracer).
+func NewTelemetry() *Telemetry { return obs.NewTelemetry() }
+
+// NewTracer builds a span tracer on the host's monotonic clock.
+// Attach it to a Telemetry bundle (tel.Tracer = NewTracer()) before
+// the run it should record.
+func NewTracer() *Tracer { return obs.NewTracer(obs.RealClock{}) }
+
+// MetricsHandler serves a registry in Prometheus text exposition
+// format, for embedding a /metrics endpoint in a custom server.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return obs.Handler(r) }
 
 // ScaleByName maps "tiny", "quick" or "paper" to its Scale.
 func ScaleByName(name string) (Scale, bool) { return core.ScaleByName(name) }
