@@ -79,6 +79,33 @@ func BenchmarkFig12SweepColdObserved(b *testing.B) {
 	}
 }
 
+// Diagnostics twin of BenchmarkFig12SweepCold: the identical cold
+// sweep with the sim-time flight recorder armed, every cell's CellDiag
+// document aggregated and encoded. Against the bare Cold number this
+// tracks what -diag-out costs when ON; the budget for the OFF case is
+// < 2% (nil probe checks on the packet and step paths), which the
+// bare Cold trajectory itself guards.
+func BenchmarkFig12SweepColdDiag(b *testing.B) {
+	var docs int
+	for i := 0; i < b.N; i++ {
+		st, err := vcabench.OpenStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		docs = 0
+		opts := vcabench.RunOpts{Store: st, Diagnostics: func(d *vcabench.CellDiag) {
+			if _, err := vcabench.EncodeDiag(d); err != nil {
+				b.Fatal(err)
+			}
+			docs++
+		}}
+		if err := vcabench.RunWithOpts("fig12", 42, benchScale, opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(docs), "diag-docs")
+}
+
 func BenchmarkFig12SweepWarm(b *testing.B) {
 	st, err := vcabench.OpenStore(b.TempDir())
 	if err != nil {

@@ -56,6 +56,19 @@
 //	                         Prometheus text format ("-" = stderr)
 //	-cpuprofile FILE         write a pprof CPU profile of the run
 //	-memprofile FILE         write a pprof heap profile at exit
+//
+// Simulation diagnostics (sim-time, unlike the walltime observability
+// above — see the README's Simulation diagnostics section):
+//
+//	-diag-out DIR            arm the flight recorder and write one
+//	                         versioned JSON diagnostics artifact per
+//	                         campaign cell into DIR (the cell key with
+//	                         "/" replaced by "__", plus ".json"). The
+//	                         artifacts are byte-identical at any
+//	                         -parallel value, cache temperature or
+//	                         -workers fleet. Diagnostics-armed runs
+//	                         cache separately from bare runs under the
+//	                         same -cache directory.
 package main
 
 import (
@@ -63,6 +76,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -86,6 +100,7 @@ func main() {
 		metrics  = flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file (\"-\" = stderr)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		diagOut  = flag.String("diag-out", "", "write one sim-time diagnostics JSON artifact per campaign cell into this directory")
 	)
 	flag.Parse()
 
@@ -124,6 +139,7 @@ func main() {
 	for _, f := range []struct{ name, val string }{
 		{"-trace-out", *traceOut}, {"-metrics-out", *metrics},
 		{"-cpuprofile", *cpuProf}, {"-memprofile", *memProf},
+		{"-diag-out", *diagOut},
 	} {
 		if f.val != "" && *run == "" && *campaign == "" {
 			fmt.Fprintf(os.Stderr, "vcabench: %s requires -run or -campaign\n", f.name)
@@ -176,8 +192,18 @@ func main() {
 		defer reportCluster(pool)
 	}
 
+	if *diagOut != "" {
+		// Creating the directory up front makes an empty dir (rather
+		// than nothing at all) the signal for "run produced no cells".
+		if err := os.MkdirAll(*diagOut, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "vcabench: -diag-out:", err)
+			o.finish()
+			os.Exit(1)
+		}
+	}
+
 	if *campaign != "" {
-		if err := runCampaign(*campaign, *jsonOut, *seed, sc, *parallel, *repeats, st, pool, o.tel); err != nil {
+		if err := runCampaign(*campaign, *jsonOut, *seed, sc, *parallel, *repeats, *diagOut, st, pool, o.tel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			reportCache(st)
 			reportCluster(pool)
@@ -202,6 +228,15 @@ func main() {
 	if pool != nil {
 		opts.Dispatcher = pool
 	}
+	var diagErr error
+	if *diagOut != "" {
+		dir := *diagOut
+		opts.Diagnostics = func(d *vcabench.CellDiag) {
+			if err := writeDiag(dir, d); err != nil && diagErr == nil {
+				diagErr = err
+			}
+		}
+	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		fmt.Printf("=== %s (scale=%s, seed=%d) ===\n", id, sc.Name, *seed)
@@ -210,6 +245,11 @@ func main() {
 			// The artifact rendered fully; only caching failed.
 			fmt.Fprintln(os.Stderr, "vcabench: warning:", err)
 			err = nil
+		}
+		if err == nil && diagErr != nil {
+			// A requested diagnostics artifact that failed to land on
+			// disk must not exit 0.
+			err = fmt.Errorf("vcabench: -diag-out: %w", diagErr)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -364,9 +404,22 @@ func reportCache(st *vcabench.Store) {
 		s.Hits(), s.Misses, s.Puts)
 }
 
+// writeDiag lands one flight-recorder document in dir, named after its
+// cell key with path separators flattened so every key maps to exactly
+// one file directly under dir.
+func writeDiag(dir string, d *vcabench.CellDiag) error {
+	data, err := vcabench.EncodeDiag(d)
+	if err != nil {
+		return err
+	}
+	name := strings.ReplaceAll(d.Key, "/", "__") + ".json"
+	return os.WriteFile(filepath.Join(dir, name), data, 0o644)
+}
+
 // runCampaign loads a spec file, runs the grid and writes the text
-// table to stdout plus, optionally, JSON results to jsonPath.
-func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, workers, repeats int, st *vcabench.Store, pool *vcabench.Pool, tel *vcabench.Telemetry) error {
+// table to stdout plus, optionally, JSON results to jsonPath and
+// per-cell diagnostics artifacts to diagDir.
+func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, workers, repeats int, diagDir string, st *vcabench.Store, pool *vcabench.Pool, tel *vcabench.Telemetry) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return fmt.Errorf("vcabench: %w", err)
@@ -392,9 +445,19 @@ func runCampaign(specPath, jsonPath string, seed int64, sc vcabench.Scale, worke
 	if tel != nil {
 		tb.WithTelemetry(tel)
 	}
+	if diagDir != "" {
+		tb.WithDiagnostics()
+	}
 	res, err := vcabench.RunCampaign(tb, spec, sc)
 	if err != nil {
 		return fmt.Errorf("vcabench: %w", err)
+	}
+	if diagDir != "" {
+		for _, d := range tb.DiagResults() {
+			if err := writeDiag(diagDir, d); err != nil {
+				return fmt.Errorf("vcabench: -diag-out: %w", err)
+			}
+		}
 	}
 	if serr := tb.StoreErr(); serr != nil {
 		fmt.Fprintln(os.Stderr, "vcabench: warning: persisting results failed:", serr)

@@ -17,7 +17,7 @@
 // Usage:
 //
 //	vcabenchd [-addr :8547] [-scale quick] [-seed 42]
-//	          [-parallel N] [-runs M] [-cache DIR] [-grace 60s]
+//	          [-parallel N] [-runs M] [-cache DIR] [-grace 60s] [-diag]
 //
 // Endpoints (see internal/serve for the full contract):
 //
@@ -25,6 +25,9 @@
 //	GET  /campaigns/{id}        poll job status
 //	GET  /campaigns/{id}/result fetch the result document
 //	GET  /cells/{key}           fetch one cell by canonical unit key
+//	GET  /cells/{key}/diag      fetch the cell's sim-time diagnostics
+//	                            artifact (needs -diag; byte-identical to
+//	                            `vcabench -diag-out` for the same cell)
 //	POST /units                 run one campaign cell (worker endpoint)
 //	GET  /healthz               liveness + store statistics
 //	GET  /metrics               Prometheus text exposition (always on)
@@ -73,6 +76,7 @@ func main() {
 		cacheDir = flag.String("cache", "", "persist campaign-unit results in this directory")
 		grace    = flag.Duration("grace", time.Minute, "on SIGINT/SIGTERM, wait this long for in-flight work to drain")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		diagOn   = flag.Bool("diag", false, "arm the sim-time flight recorder; cell diagnostics served at GET /cells/{key}/diag")
 	)
 	flag.Parse()
 
@@ -89,7 +93,7 @@ func main() {
 	// The daemon is always observed: one registry carries serve, engine
 	// and store series, scraped at GET /metrics.
 	tel := obs.NewTelemetry()
-	cfg := serve.Config{Seed: *seed, Scale: sc, Workers: *parallel, MaxRuns: *runs, Telemetry: tel}
+	cfg := serve.Config{Seed: *seed, Scale: sc, Workers: *parallel, MaxRuns: *runs, Telemetry: tel, Diagnostics: *diagOn}
 	if *cacheDir != "" {
 		st, err := store.OpenOptions(*cacheDir, store.Options{Telemetry: tel})
 		if err != nil {

@@ -1,14 +1,23 @@
-// Command vcaplot renders ASCII CDF plots from CSV sample data.
+// Command vcaplot renders ASCII CDF plots from CSV sample data, and
+// sim-time diagnostics timelines from flight-recorder artifacts.
 //
-// Input format: one "label,value" pair per line (a header line is
+// CSV input format: one "label,value" pair per line (a header line is
 // skipped if its value column is not numeric). All samples sharing a
 // label become one curve. Parsing lives in internal/report
 // (ParseCSVSeries), where it is unit-tested.
+//
+// With -diag, the input is instead one cell's diagnostics JSON (as
+// written by `vcabench -diag-out` or served by vcabenchd at
+// GET /cells/{key}/diag) and vcaplot renders its event-queue depth,
+// per-pipe throughput and drop timelines, rate-target ladders and
+// event log as text charts (internal/report.RenderDiag).
 //
 // Usage:
 //
 //	vcaplot -in lags.csv -x "video lag (ms)" -title "fig4 zoom"
 //	vcabench -run fig4 ... | your-extraction | vcaplot -in -
+//	vcaplot -diag diagdir/fig13__zoom.json
+//	curl -s host:8547/cells/fig13/zoom/diag | vcaplot -diag -
 package main
 
 import (
@@ -17,18 +26,25 @@ import (
 	"io"
 	"os"
 
+	"github.com/vcabench/vcabench/internal/diag"
 	"github.com/vcabench/vcabench/internal/report"
 )
 
 func main() {
 	var (
 		in     = flag.String("in", "-", "input CSV (label,value), or - for stdin")
+		diagIn = flag.String("diag", "", "render a diagnostics JSON artifact instead of CSV (\"-\" = stdin)")
 		xlabel = flag.String("x", "value", "x-axis label")
 		title  = flag.String("title", "", "plot title")
 		width  = flag.Int("w", 64, "plot width")
 		height = flag.Int("h", 16, "plot height")
 	)
 	flag.Parse()
+
+	if *diagIn != "" {
+		renderDiag(*diagIn)
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -55,4 +71,26 @@ func main() {
 		p.Add(s.Label, s.Values)
 	}
 	p.Render(os.Stdout)
+}
+
+// renderDiag loads one diagnostics artifact (a file, or stdin for "-")
+// and renders its timelines.
+func renderDiag(path string) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcaplot:", err)
+		os.Exit(1)
+	}
+	d, err := diag.Decode(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcaplot: -diag:", err)
+		os.Exit(1)
+	}
+	report.RenderDiag(os.Stdout, d)
 }

@@ -1,0 +1,96 @@
+// Example diagnostics walks the sim-time flight recorder end to end:
+// run a small disturbance campaign with RunCampaign on a
+// diagnostics-armed testbed, pull each cell's CellDiag document, and
+// read the story the simulation recorded about itself — where packets
+// queued, when the rate controller moved, which drop caused which
+// freeze.
+//
+// Unlike the walltime telemetry of the Observability example (metrics
+// and spans about how a run was *produced*), every timestamp here is
+// simulation time: the documents are byte-identical at any worker
+// count, cache temperature or fleet topology. The same artifacts come
+// out of the CLI and daemon:
+//
+//	go run ./cmd/vcabench -campaign examples/traces/spec.json -scale tiny -diag-out DIR
+//	vcabenchd -diag ...; curl host:8547/cells/<key>/diag
+//	vcaplot -diag DIR/<cell>.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/vcabench/vcabench"
+)
+
+func main() {
+	// A Fig 13-shaped scenario: mid-call, the receiver's downlink drops
+	// to 500 Kbps for four seconds, then recovers.
+	spec := vcabench.Campaign{
+		Name:        "diag-demo",
+		Description: "one downlink dip, fully flight-recorded",
+		Geometries: []vcabench.Geometry{{
+			Host:      "US-East",
+			Receivers: []string{"US-East2"},
+		}},
+		Motions: []string{"high-motion"},
+		Traces: []vcabench.TraceSpec{{
+			Name: "dip500k",
+			Square: &vcabench.SquareTrace{
+				HighBps: 0, LowBps: 500_000,
+				HighSec: 2, LowSec: 4,
+				Once: true,
+			},
+		}},
+	}
+
+	// WithDiagnostics arms the probe seams; each campaign unit then
+	// records on its own fork, so the documents are independent of
+	// scheduling. (The library route shown here; RunOpts.Diagnostics
+	// does the same for Run-by-ID experiments.)
+	tb := vcabench.NewTestbed(7).WithDiagnostics()
+	res, err := vcabench.RunCampaign(tb, spec, vcabench.TinyScale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Armed cells surface drop causes right in the campaign result.
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		fmt.Printf("%-18s drops: %d queue, %d random\n", c.Key, c.DropsQueue, c.DropsRandom)
+	}
+
+	// DiagResults returns one document per cell, sorted by key.
+	for _, d := range tb.DiagResults() {
+		fmt.Printf("\n=== %s ===\n", d.Key)
+
+		// The event log is the discrete story: rate-ladder switches,
+		// trace-step applications, FEC recoveries, freezes — all on the
+		// sim clock.
+		for _, e := range d.Events {
+			fmt.Printf("  t=%6.3fs %-13s %-22s %v\n", e.AtSec, e.Kind, e.Subject, e.Value)
+		}
+
+		// The pipe series are the continuous story: per-second bins of
+		// throughput, queuing and drops for every simulated link.
+		for _, p := range d.Pipes {
+			var bytes, drops int64
+			for _, b := range p.Bins {
+				bytes += b.Bytes
+				drops += b.DropsQueue + b.DropsRandom
+			}
+			fmt.Printf("  pipe %-24s %7d bytes, %d drops\n", p.Name, bytes, drops)
+		}
+
+		// EncodeDiag yields the versioned JSON artifact — the exact
+		// bytes `vcabench -diag-out` writes and vcabenchd serves at
+		// GET /cells/{key}/diag.
+		data, err := vcabench.EncodeDiag(d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  artifact: %d bytes of versioned JSON\n", len(data))
+	}
+}

@@ -33,6 +33,13 @@ type Config struct {
 	Seed        int64
 	// Resolve maps remote node names to IPs for the traffic monitor.
 	Resolve Resolver
+	// Probe, when set, observes media-pipeline events in sim time — the
+	// flight-recorder seam (see internal/diag): kind "fec-recovery" when
+	// frames complete despite fresh packet gaps (the reassembler
+	// recovered them), "frame-drop" when incomplete frames are
+	// abandoned. Value is the frame count. Nil costs one branch per
+	// delivered media packet.
+	Probe func(at time.Time, kind string, value float64)
 }
 
 // Client is one emulated participant: node + feeder + monitor +
@@ -62,6 +69,10 @@ type Client struct {
 	prevPackets int
 	prevGaps    int
 	running     bool
+
+	// Probe watermarks: reassembler counter levels already reported.
+	probeGaps  int
+	probeDrops int
 }
 
 // New creates a client and its network node.
@@ -184,6 +195,20 @@ func (c *Client) onPacket(pkt *simnet.Packet) {
 	if au != nil {
 		c.gotAu[au.Seq] = au
 	}
+	if c.cfg.Probe != nil {
+		st := c.reasm.StatsSnapshot()
+		// Frames completing while new sequence gaps are outstanding were
+		// recovered out of order — the loss-concealment event the paper
+		// observes in webrtc-internals.
+		if len(vids) > 0 && st.PacketGaps > c.probeGaps {
+			c.cfg.Probe(c.sim.Now(), "fec-recovery", float64(len(vids)))
+			c.probeGaps = st.PacketGaps
+		}
+		if st.FramesDropped > c.probeDrops {
+			c.cfg.Probe(c.sim.Now(), "frame-drop", float64(st.FramesDropped-c.probeDrops))
+			c.probeDrops = st.FramesDropped
+		}
+	}
 }
 
 // reportStats sends one feedback interval to the platform.
@@ -230,6 +255,8 @@ func (c *Client) Reset() {
 	c.recvBytes = 0
 	c.prevPackets = 0
 	c.prevGaps = 0
+	c.probeGaps = 0
+	c.probeDrops = 0
 	c.att = nil
 }
 

@@ -655,7 +655,7 @@ func runCell(stb *Testbed, c campaignCell, sc Scale) *QoEStudyResult {
 					n.SetDownlinkLoss(ne.LossPct / 100)
 				}
 				if ne.fluctuating() {
-					trace.Play(stb.Sim, n, fluctTrace(ne), shaperBurst)
+					trace.PlayWithProbe(stb.Sim, n, fluctTrace(ne), shaperBurst, stb.traceProbe())
 				}
 			}
 		}
@@ -784,6 +784,14 @@ type CellResult struct {
 	UpMbps   *Metric `json:"up_mbps,omitempty"`
 	DownMbps *Metric `json:"down_mbps,omitempty"`
 	MOS      *Metric `json:"mos,omitempty"`
+
+	// DropsQueue / DropsRandom total the cell's access-pipe drops by
+	// cause (simnet.PipeStats split) — present only when the campaign
+	// ran with diagnostics armed, so bare runs stay byte-identical to
+	// pre-diagnostics output. For a replicated cell they report the
+	// first replica's totals (the same replica Raw retains).
+	DropsQueue  int64 `json:"drops_queue,omitempty"`
+	DropsRandom int64 `json:"drops_random,omitempty"`
 
 	// RateOverTime is the mean per-receiver downlink rate over session
 	// time — present only for trace-driven cells, where it makes each
@@ -994,6 +1002,11 @@ func RunCampaign(tb *Testbed, spec Campaign, sc Scale) (*CampaignResult, error) 
 			cr.MOS = metricOf(q.MOS)
 			cr.RateOverTime = ratePoints(q)
 			cr.Raw = q
+			if q.Diag != nil {
+				cr.DropsQueue = q.Diag.DropsQueue
+				cr.DropsRandom = q.Diag.DropsRandom
+				tb.diagAdd(q.Diag)
+			}
 		} else {
 			qs := make([]*QoEStudyResult, reps)
 			for k := range qs {
@@ -1013,6 +1026,15 @@ func RunCampaign(tb *Testbed, spec Campaign, sc Scale) (*CampaignResult, error) 
 			}
 			cr.RateOverTime = meanRatePoints(qs)
 			cr.Raw = qs[0]
+			// Each replica recorded under its own "<cellKey>/rep=K" key;
+			// the cell-level drop totals mirror Raw's replica choice.
+			for _, q := range qs {
+				tb.diagAdd(q.Diag)
+			}
+			if qs[0].Diag != nil {
+				cr.DropsQueue = qs[0].Diag.DropsQueue
+				cr.DropsRandom = qs[0].Diag.DropsRandom
+			}
 		}
 		out.Cells[i] = cr
 	}

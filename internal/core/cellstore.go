@@ -39,7 +39,9 @@ type CellStore interface {
 // v3: the replication refactor — campaign salts cover the Repeats
 // axis and replicated campaigns store per-replica "<cellKey>/rep=K"
 // units alongside bare cell keys.
-const cellSchemaVersion = 3
+// v4: diagnostics — QoEStudyResult gained the Diag flight-recorder
+// document and keys gained a bare/diag mode segment (see cellKey).
+const cellSchemaVersion = 4
 
 func init() {
 	// Unit results are persisted as a gob interface value so one codec
@@ -103,13 +105,20 @@ func (tb *Testbed) overridesFingerprint() string {
 // cellKey composes the full persisted-cell key. salt carries campaign
 // context the unit key omits (single-valued axes never make it into
 // keys — see Campaign); "" means the key is already self-contained,
-// as lag-study keys are.
+// as lag-study keys are. The mode segment splits diagnostics-armed
+// cells from bare ones: their stored values differ (Diag document
+// attached or not), so a cache warmed one way must never satisfy the
+// other.
 func (tb *Testbed) cellKey(sc Scale, salt, unitKey string) string {
 	if salt == "" {
 		salt = "-"
 	}
-	return fmt.Sprintf("v%d/seed%d/%s/%s/%s/%s",
-		cellSchemaVersion, tb.seed, scaleFingerprint(sc), tb.overridesFingerprint(), salt, unitKey)
+	mode := "bare"
+	if tb.diag {
+		mode = "diag"
+	}
+	return fmt.Sprintf("v%d/%s/seed%d/%s/%s/%s/%s",
+		cellSchemaVersion, mode, tb.seed, scaleFingerprint(sc), tb.overridesFingerprint(), salt, unitKey)
 }
 
 // encodeCell serializes one unit result. Encoding happens immediately

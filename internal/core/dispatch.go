@@ -30,6 +30,10 @@ type UnitRequest struct {
 	Scale string   `json:"scale"`
 	Seed  int64    `json:"seed"`
 	Key   string   `json:"key"`
+	// Diag asks the worker to arm the flight recorder for this unit, so
+	// the returned cell carries the same Diag document a local
+	// diagnostics-armed run would compute.
+	Diag bool `json:"diag,omitempty"`
 }
 
 // Dispatcher executes campaign units out of process. DispatchUnit
@@ -70,7 +74,7 @@ func (tb *Testbed) remoteRunner(spec Campaign, sc Scale) func(key string) (any, 
 	d := tb.dispatcher
 	seed := tb.seed
 	return func(key string) (any, bool) {
-		data, err := d.DispatchUnit(UnitRequest{Spec: spec, Scale: sc.Name, Seed: seed, Key: key})
+		data, err := d.DispatchUnit(UnitRequest{Spec: spec, Scale: sc.Name, Seed: seed, Key: key, Diag: tb.diag})
 		if err != nil {
 			return nil, false
 		}

@@ -10,7 +10,9 @@ import "fmt"
 // v3: replicated campaigns — CellResult gained the replicas block and
 // metrics gained reps/stderr/ci95 fields; campaign results gained the
 // repeats count.
-const serveCellSchemaVersion = 3
+// v4: diagnostics — diagnostics-armed daemons surface drop causes
+// (drops_queue/drops_random) in cell JSON.
+const serveCellSchemaVersion = 4
 
 // ServeCellKey names a rendered cell-JSON document in the persistent
 // store, so a daemon's /cells lookups survive restarts and MaxJobs
@@ -20,4 +22,19 @@ const serveCellSchemaVersion = 3
 // keys anywhere else is a vcalint storekey violation.
 func ServeCellKey(scaleName string, seed int64, unitKey string) string {
 	return fmt.Sprintf("servecell/v%d/%s/%d/%s", serveCellSchemaVersion, scaleName, seed, unitKey)
+}
+
+// serveDiagSchemaVersion versions the daemon's persisted diagnostics
+// artifacts independently: the document carries its own schema version
+// (diag.Version), so this only needs to move when the key framing
+// itself changes.
+const serveDiagSchemaVersion = 1
+
+// ServeDiagKey names a cell's rendered diagnostics artifact in the
+// persistent store — the document behind GET /cells/{key}/diag. Like
+// ServeCellKey, this is the one canonical constructor for the
+// "servediag/" namespace; assembling such keys anywhere else is a
+// vcalint storekey violation.
+func ServeDiagKey(scaleName string, seed int64, unitKey string) string {
+	return fmt.Sprintf("servediag/v%d/%s/%d/%s", serveDiagSchemaVersion, scaleName, seed, unitKey)
 }

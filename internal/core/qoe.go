@@ -6,6 +6,7 @@ import (
 
 	"github.com/vcabench/vcabench/internal/capture"
 	"github.com/vcabench/vcabench/internal/client"
+	"github.com/vcabench/vcabench/internal/diag"
 	"github.com/vcabench/vcabench/internal/geo"
 	"github.com/vcabench/vcabench/internal/media"
 	"github.com/vcabench/vcabench/internal/platform"
@@ -56,6 +57,12 @@ type QoEStudyResult struct {
 	// time-varying trace become inspectable. nil for trace-free cells.
 	RateOverTime []float64
 	RateBin      time.Duration
+
+	// Diag is the cell's flight-recorder document; nil unless the
+	// testbed was armed with WithDiagnostics. It rides the result
+	// through the memo, the CellStore gob and the Dispatcher, so every
+	// resolution tier yields the same bytes.
+	Diag *diag.CellDiag
 }
 
 func newQoEResult(kind platform.Kind, motion media.MotionClass, n int) *QoEStudyResult {
@@ -104,12 +111,14 @@ func RunQoEStudyWithSetup(tb *Testbed, kind platform.Kind, host geo.Region, recv
 	})
 	recvs := make([]*client.Client, len(recvRegions))
 	for i, r := range recvRegions {
+		name := tb.uniqueName("qoe-" + string(kind) + "-r" + r.Name)
 		cfg := client.Config{
-			Name:    tb.uniqueName("qoe-" + string(kind) + "-r" + r.Name),
+			Name:    name,
 			Region:  r,
 			Profile: sc.Profile,
 			Seed:    tb.seed + 400 + int64(i),
 			Resolve: resolve,
+			Probe:   tb.clientProbe(name),
 		}
 		if opts.DownlinkCapBps > 0 || opts.Trace != nil {
 			// tc-tbf style: a short buffer, so overload surfaces as loss
@@ -153,7 +162,7 @@ func RunQoEStudyWithSetup(tb *Testbed, kind platform.Kind, host geo.Region, recv
 		var players []*trace.Player
 		if opts.Trace != nil {
 			for _, r := range recvs {
-				players = append(players, trace.Play(tb.Sim, r.Node(), *opts.Trace, shaperBurst))
+				players = append(players, trace.PlayWithProbe(tb.Sim, r.Node(), *opts.Trace, shaperBurst, tb.traceProbe()))
 			}
 		}
 		tb.Sim.RunFor(sc.QoEDur)
@@ -174,6 +183,7 @@ func RunQoEStudyWithSetup(tb *Testbed, kind platform.Kind, host geo.Region, recv
 		res.UpMbps.Add(hostWin.Rate(capture.Out) / 1e6)
 		for _, r := range recvs {
 			rec := r.Record(hostClient)
+			tb.recordFreezes(rec, r.Name(), from, sc.Profile.FPS)
 			v := qoe.CompareVideo(rec.Ref, rec.Displayed, sc.QoEStride)
 			res.PSNR.Add(v.PSNR)
 			res.SSIM.Add(v.SSIM)
@@ -212,6 +222,9 @@ func RunQoEStudyWithSetup(tb *Testbed, kind platform.Kind, host geo.Region, recv
 			norm := float64(sc.QoESessions*len(recvs)) * span.Seconds()
 			res.RateOverTime[b] = float64(n) * 8 / norm / 1e6
 		}
+	}
+	if tb.diagRec != nil {
+		res.Diag = tb.diagRec.Finalize()
 	}
 	return res
 }

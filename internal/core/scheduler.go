@@ -50,6 +50,13 @@ func (tb *Testbed) Fork(unitKey string) *Testbed {
 	// into the same registry and tracer; it never influences results.
 	ntb.tel = tb.tel
 	ntb.em = tb.em
+	// Diagnostics arm per unit: the fork gets its own recorder keyed by
+	// the unit, so each cell's flight-recorder document is independent
+	// of scheduling order and worker count.
+	if tb.diag {
+		ntb.diag = true
+		ntb.armDiag(unitKey)
+	}
 	return ntb
 }
 

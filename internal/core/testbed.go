@@ -17,6 +17,7 @@ import (
 
 	"github.com/vcabench/vcabench/internal/capture"
 	"github.com/vcabench/vcabench/internal/client"
+	"github.com/vcabench/vcabench/internal/diag"
 	"github.com/vcabench/vcabench/internal/geo"
 	"github.com/vcabench/vcabench/internal/media"
 	"github.com/vcabench/vcabench/internal/obs"
@@ -64,6 +65,14 @@ type Testbed struct {
 	// unobserved — every hook is a no-op. See telemetry.go.
 	tel *obs.Telemetry
 	em  *engineMetrics
+
+	// diag arms the sim-time flight recorder (see diagnostics.go):
+	// diagRec is this testbed's own recorder (per campaign unit on
+	// forks), diagDocs the root testbed's harvest of finalized
+	// documents, keyed by unit key and guarded by memoMu.
+	diag     bool
+	diagRec  *diag.Recorder
+	diagDocs map[string]*diag.CellDiag
 }
 
 // registerCampaign records (or re-checks) the fingerprint of a named
@@ -123,6 +132,9 @@ func (tb *Testbed) Platform(k platform.Kind) *platform.Platform {
 		p = platform.NewWithConfig(cfg, tb.Net)
 	} else {
 		p = platform.New(k, tb.Net)
+	}
+	if tb.diagRec != nil {
+		p.SetRateProbe(tb.rateProbe(string(k)))
 	}
 	tb.platforms[k] = p
 	return p

@@ -1,0 +1,145 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRecorderAggregatesAndSorts(t *testing.T) {
+	r := NewRecorder("fig13/zoom", epoch, time.Second)
+	// Insert pipes and bins out of order; Finalize must sort both.
+	r.PipeForwarded("b/up", epoch.Add(2500*time.Millisecond), 1200, 1228, 4096, 3*time.Millisecond)
+	r.PipeForwarded("a/down", epoch.Add(100*time.Millisecond), 900, 928, 0, 0)
+	r.PipeForwarded("b/up", epoch.Add(2600*time.Millisecond), 1200, 1228, 8192, 5*time.Millisecond)
+	r.PipeDropped("b/up", epoch.Add(2700*time.Millisecond), 1228, CauseQueue)
+	r.PipeDropped("a/down", epoch.Add(200*time.Millisecond), 928, CauseRandom)
+	r.StepExecuted(epoch.Add(50*time.Millisecond), 7)
+	r.StepExecuted(epoch.Add(60*time.Millisecond), 3)
+	r.Event(epoch.Add(time.Second), KindRateTarget, "fig13/zoom-session-1", 1_000_000)
+
+	d := r.Finalize()
+	if d.Version != Version || d.Key != "fig13/zoom" || d.BinSec != 1 {
+		t.Fatalf("header = %+v", d)
+	}
+	if d.DropsQueue != 1 || d.DropsRandom != 1 {
+		t.Fatalf("drops = %d/%d, want 1/1", d.DropsQueue, d.DropsRandom)
+	}
+	if len(d.Pipes) != 2 || d.Pipes[0].Name != "a/down" || d.Pipes[1].Name != "b/up" {
+		t.Fatalf("pipes = %+v, want sorted [a/down b/up]", d.Pipes)
+	}
+	up := d.Pipes[1]
+	if len(up.Bins) != 1 || up.Bins[0].Bin != 2 {
+		t.Fatalf("b/up bins = %+v, want one bin at index 2", up.Bins)
+	}
+	b := up.Bins[0]
+	if b.Packets != 2 || b.Bytes != 2400 || b.DropsQueue != 1 || b.QueueMaxBytes != 8192 {
+		t.Fatalf("b/up bin = %+v", b)
+	}
+	if b.DelayMsMean != 4 {
+		t.Fatalf("DelayMsMean = %v, want 4 (mean of 3ms and 5ms)", b.DelayMsMean)
+	}
+	if len(d.Queue) != 1 || d.Queue[0].Steps != 2 || d.Queue[0].DepthMax != 7 {
+		t.Fatalf("queue = %+v", d.Queue)
+	}
+	if len(d.Events) != 1 || d.Events[0].Kind != KindRateTarget || d.Events[0].AtSec != 1 {
+		t.Fatalf("events = %+v", d.Events)
+	}
+}
+
+func TestFinalizeIsNonDestructive(t *testing.T) {
+	r := NewRecorder("k", epoch, time.Second)
+	r.PipeForwarded("p/up", epoch, 100, 128, 0, 0)
+	first := r.Finalize()
+	r.PipeForwarded("p/up", epoch, 100, 128, 0, 0)
+	second := r.Finalize()
+	if first.Pipes[0].Bins[0].Packets != 1 {
+		t.Fatalf("first snapshot mutated: %+v", first.Pipes[0].Bins[0])
+	}
+	if second.Pipes[0].Bins[0].Packets != 2 {
+		t.Fatalf("second snapshot = %+v, want 2 packets", second.Pipes[0].Bins[0])
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := NewRecorder("cell", epoch, time.Second)
+	r.PipeForwarded("n/down", epoch.Add(time.Second), 500, 528, 1024, time.Millisecond)
+	r.Event(epoch.Add(2*time.Second), KindTraceStep, "dip500k", 500_000)
+	d := r.Finalize()
+	enc, err := Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(enc), "\n") {
+		t.Fatal("Encode output missing trailing newline")
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reenc, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reenc) != string(enc) {
+		t.Fatalf("round-trip not byte-identical:\n%s\nvs\n%s", enc, reenc)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":         "{",
+		"wrong version":    `{"version": 99, "key": "k", "bin_sec": 1, "drops_queue": 0, "drops_random": 0}`,
+		"trailing data":    `{"version": 1, "key": "k", "bin_sec": 1, "drops_queue": 0, "drops_random": 0}{}`,
+		"empty document":   "",
+		"null document":    "null",
+		"array not object": `[1, 2]`,
+	}
+	for name, in := range cases {
+		if _, err := Decode([]byte(in)); err == nil {
+			t.Errorf("%s: Decode(%q) succeeded, want error", name, in)
+		}
+	}
+}
+
+func TestNewRecorderRejectsBadBin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRecorder with zero bin did not panic")
+		}
+	}()
+	NewRecorder("k", epoch, 0)
+}
+
+func FuzzDiagDecode(f *testing.F) {
+	r := NewRecorder("seed", epoch, time.Second)
+	r.PipeForwarded("n/up", epoch, 100, 128, 512, time.Millisecond)
+	r.PipeDropped("n/up", epoch.Add(time.Second), 128, CauseRandom)
+	r.StepExecuted(epoch, 2)
+	r.Event(epoch, KindFreeze, "client-1", 3)
+	enc, err := Encode(r.Finalize())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	f.Add([]byte(`{"version": 1}`))
+	f.Add([]byte(`{"version": 1, "pipes": [{"name": "x", "bins": null}]}`))
+	f.Add([]byte("null"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Any accepted document must re-encode and re-decode cleanly.
+		enc, err := Encode(d)
+		if err != nil {
+			t.Fatalf("Encode of accepted document failed: %v", err)
+		}
+		if _, err := Decode(enc); err != nil {
+			t.Fatalf("re-Decode of Encode output failed: %v", err)
+		}
+	})
+}

@@ -9,10 +9,11 @@ import (
 
 // StorekeyAnalyzer enforces the key-grammar invariant: the strings that
 // name persisted cells, replica units and rendered serve documents are
-// a schema. Their reserved fragments — the "v<N>/seed<S>/..." store-key
-// prefix, the "/rep=K" replica segment, the "servecell/" rendered-cell
-// namespace — may be *built* only by the canonical helpers in
-// internal/core (cellKey, replicaKey, ServeCellKey). An ad-hoc
+// a schema. Their reserved fragments — the "v<N>/<mode>/seed<S>/..."
+// store-key prefix, the "/rep=K" replica segment, the "servecell/" and
+// "servediag/" rendered-document namespaces — may be *built* only by
+// the canonical helpers in internal/core (cellKey, replicaKey,
+// ServeCellKey, ServeDiagKey). An ad-hoc
 // fmt.Sprintf or string concatenation that spells one of these
 // fragments elsewhere will drift from the schema on the next version
 // bump and silently split or alias the warm cache.
@@ -22,17 +23,18 @@ import (
 // concatenation or arguments to fmt formatting calls are flagged.
 var StorekeyAnalyzer = &Analyzer{
 	Name: "storekey",
-	Doc: "store/cell/servecell key fragments may only be assembled by the canonical " +
-		"helpers in internal/core; ad-hoc Sprintf/concatenation drifts from the key schema",
-	Run: runStorekey,
+	Doc:  "reserved store-key fragments may only be assembled by the canonical helpers in internal/core; ad-hoc Sprintf/concatenation drifts from the key schema",
+	Run:  runStorekey,
 }
 
 // reservedKeyFragments are the substrings that mark a string literal as
 // part of the persisted-key grammar.
 var reservedKeyFragments = []string{
 	"servecell/",
+	"servediag/",
 	"/rep=",
-	"v%d/seed",
+	"v%d/seed",    // pre-v4 store-key prefix (kept so old spellings stay flagged)
+	"v%d/%s/seed", // v4+ store-key prefix with the bare/diag mode segment
 }
 
 // canonicalKeyHelpers are the internal/core functions allowed to
@@ -41,6 +43,7 @@ var canonicalKeyHelpers = map[string]bool{
 	"cellKey":      true,
 	"replicaKey":   true,
 	"ServeCellKey": true,
+	"ServeDiagKey": true,
 }
 
 func runStorekey(pass *Pass) {

@@ -142,7 +142,15 @@ type Platform struct {
 	// Meet stickiness: primary/secondary endpoint per client node.
 	sticky map[string][2]*Endpoint
 	ips    map[string]capture.IPv4
+	// rateProbe, when set, observes every rate-control target change —
+	// the flight-recorder seam (see internal/diag). It fires in sim
+	// time, after the target is set but before OnTarget callbacks.
+	rateProbe func(session int, bps float64)
 }
+
+// SetRateProbe installs (or removes, with nil) the rate-target
+// observer, covering every session the platform runs.
+func (p *Platform) SetRateProbe(f func(session int, bps float64)) { p.rateProbe = f }
 
 // New instantiates a platform with its default configuration.
 func New(k Kind, net *simnet.Network) *Platform {

@@ -204,6 +204,9 @@ func (s *Session) Start() {
 	s.targetBps = cfg.Policy.InitialTarget(len(s.parts), s.p2p, s.p.rng)
 	// Recovery probing never exceeds the session type's own target.
 	s.targetCeil = s.targetBps * 1.05
+	if s.p.rateProbe != nil {
+		s.p.rateProbe(s.id, s.targetBps)
+	}
 	for _, a := range s.parts {
 		for _, f := range a.onTarget {
 			f(s.targetBps)
@@ -322,6 +325,9 @@ func (s *Session) rateTick() {
 		return
 	}
 	s.targetBps = next
+	if s.p.rateProbe != nil {
+		s.p.rateProbe(s.id, next)
+	}
 	for _, a := range s.parts {
 		for _, f := range a.onTarget {
 			f(next)

@@ -1,0 +1,192 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/vcabench/vcabench/internal/diag"
+)
+
+// This file renders flight-recorder documents (internal/diag) as text:
+// the vcaplot -diag mode. Everything here is presentation — the
+// document is already final — so rendering order follows the sorted
+// order Finalize establishes and the output is deterministic for a
+// given artifact.
+
+const diagBarWidth = 40 // columns of a full-scale bar
+
+// RenderDiag writes a human-readable view of one cell's diagnostics
+// artifact: the drop summary, an event-queue depth timeline, per-pipe
+// throughput and drop timelines, per-sender rate-target ladders and
+// the discrete event log.
+func RenderDiag(w io.Writer, d *diag.CellDiag) {
+	fmt.Fprintf(w, "## diagnostics %s (schema v%d, bin %ss)\n", d.Key, d.Version, trimFloat(d.BinSec))
+	fmt.Fprintf(w, "drops: %d queue, %d random\n", d.DropsQueue, d.DropsRandom)
+	last := lastBin(d)
+
+	if len(d.Queue) > 0 {
+		fmt.Fprintf(w, "\nevent-queue depth (max per bin)\n")
+		vals := make([]float64, last+1)
+		for _, q := range d.Queue {
+			if q.Bin >= 0 && q.Bin <= last {
+				vals[q.Bin] = float64(q.DepthMax)
+			}
+		}
+		renderBins(w, vals, d.BinSec)
+	}
+
+	for _, p := range d.Pipes {
+		fmt.Fprintf(w, "\npipe %s throughput (bytes per bin)\n", p.Name)
+		vals := make([]float64, last+1)
+		var dropsQ, dropsR []float64
+		for _, b := range p.Bins {
+			if b.Bin < 0 || b.Bin > last {
+				continue
+			}
+			vals[b.Bin] = float64(b.Bytes)
+			if b.DropsQueue > 0 || b.DropsRandom > 0 {
+				if dropsQ == nil {
+					dropsQ = make([]float64, last+1)
+					dropsR = make([]float64, last+1)
+				}
+				dropsQ[b.Bin] = float64(b.DropsQueue)
+				dropsR[b.Bin] = float64(b.DropsRandom)
+			}
+		}
+		renderBins(w, vals, d.BinSec)
+		if dropsQ != nil {
+			fmt.Fprintf(w, "pipe %s drops (per bin: queue/random)\n", p.Name)
+			for bin := range dropsQ {
+				if dropsQ[bin] == 0 && dropsR[bin] == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%7s |%-*s| %s/%s\n", binLabel(bin, d.BinSec), diagBarWidth,
+					strings.Repeat("#", scaleBar(dropsQ[bin]+dropsR[bin], maxOf(sum2(dropsQ, dropsR)))),
+					trimFloat(dropsQ[bin]), trimFloat(dropsR[bin]))
+			}
+		}
+	}
+
+	renderRateLadders(w, d, last)
+
+	if len(d.Events) > 0 {
+		fmt.Fprintf(w, "\nevents\n")
+		for _, e := range d.Events {
+			line := fmt.Sprintf("t=%.3fs %s", e.AtSec, e.Kind)
+			if e.Subject != "" {
+				line += " " + e.Subject
+			}
+			if e.Value != 0 {
+				line += " " + trimFloat(e.Value)
+			}
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+}
+
+// renderRateLadders charts each rate-target subject's ladder as a
+// step series sampled at bin boundaries: the value in force at the
+// start of each bin (the most recent switch at or before it).
+func renderRateLadders(w io.Writer, d *diag.CellDiag, last int) {
+	bySubject := make(map[string][]diag.Event)
+	for _, e := range d.Events {
+		if e.Kind == diag.KindRateTarget {
+			bySubject[e.Subject] = append(bySubject[e.Subject], e)
+		}
+	}
+	if len(bySubject) == 0 {
+		return
+	}
+	subjects := make([]string, 0, len(bySubject))
+	//vcalint:ignore maprange the subject list is sorted immediately below, erasing iteration order
+	for s := range bySubject {
+		subjects = append(subjects, s)
+	}
+	sort.Strings(subjects)
+	for _, s := range subjects {
+		evs := bySubject[s] // already in sim-time order
+		fmt.Fprintf(w, "\nrate target %s (bps at each bin start)\n", s)
+		vals := make([]float64, last+1)
+		for bin := 0; bin <= last; bin++ {
+			t := float64(bin) * d.BinSec
+			for _, e := range evs {
+				if e.AtSec <= t {
+					vals[bin] = e.Value
+				}
+			}
+		}
+		renderBins(w, vals, d.BinSec)
+	}
+}
+
+// renderBins draws one bar row per bin, scaled to the series maximum.
+func renderBins(w io.Writer, vals []float64, binSec float64) {
+	max := maxOf(vals)
+	for bin, v := range vals {
+		fmt.Fprintf(w, "%7s |%-*s| %s\n", binLabel(bin, binSec), diagBarWidth,
+			strings.Repeat("#", scaleBar(v, max)), trimFloat(v))
+	}
+}
+
+// binLabel names a bin row by its start time, e.g. "2s".
+func binLabel(bin int, binSec float64) string {
+	return trimFloat(float64(bin)*binSec) + "s"
+}
+
+func scaleBar(v, max float64) int {
+	if max <= 0 || v <= 0 {
+		return 0
+	}
+	n := int(v / max * diagBarWidth)
+	if n > diagBarWidth {
+		n = diagBarWidth
+	}
+	return n
+}
+
+func maxOf(vals []float64) float64 {
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func sum2(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// lastBin finds the largest bin index the document touches across its
+// queue series, pipe series and event log, so every timeline renders
+// on the same axis.
+func lastBin(d *diag.CellDiag) int {
+	last := 0
+	for _, q := range d.Queue {
+		if q.Bin > last {
+			last = q.Bin
+		}
+	}
+	for _, p := range d.Pipes {
+		for _, b := range p.Bins {
+			if b.Bin > last {
+				last = b.Bin
+			}
+		}
+	}
+	if d.BinSec > 0 {
+		for _, e := range d.Events {
+			if bin := int(e.AtSec / d.BinSec); bin > last {
+				last = bin
+			}
+		}
+	}
+	return last
+}

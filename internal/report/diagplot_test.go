@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vcabench/vcabench/internal/diag"
+)
+
+func sampleDiag() *diag.CellDiag {
+	return &diag.CellDiag{
+		Version:     diag.Version,
+		Key:         "fig13/zoom",
+		BinSec:      1,
+		DropsQueue:  3,
+		DropsRandom: 1,
+		Pipes: []diag.PipeSeries{{
+			Name: "us-east/down",
+			Bins: []diag.PipeBin{
+				{Bin: 0, Packets: 10, Bytes: 12000, QueueMaxBytes: 900, DelayMsMean: 2.5},
+				{Bin: 2, Packets: 4, Bytes: 4800, DropsQueue: 3, DropsRandom: 1, QueueMaxBytes: 2400, DelayMsMean: 9},
+			},
+		}},
+		Queue: []diag.QueueBin{{Bin: 0, Steps: 40, DepthMax: 7}, {Bin: 2, Steps: 21, DepthMax: 12}},
+		Events: []diag.Event{
+			{AtSec: 0, Kind: diag.KindRateTarget, Subject: "zoom-session-0", Value: 1_500_000},
+			{AtSec: 1.25, Kind: diag.KindTraceStep, Subject: "dip500k", Value: 500_000},
+			{AtSec: 1.5, Kind: diag.KindRateTarget, Subject: "zoom-session-0", Value: 750_000},
+			{AtSec: 2.2, Kind: diag.KindFreeze, Subject: "us-west", Value: 4},
+		},
+	}
+}
+
+func TestRenderDiagSections(t *testing.T) {
+	var b strings.Builder
+	RenderDiag(&b, sampleDiag())
+	out := b.String()
+	for _, want := range []string{
+		"## diagnostics fig13/zoom (schema v1, bin 1s)",
+		"drops: 3 queue, 1 random",
+		"event-queue depth (max per bin)",
+		"pipe us-east/down throughput (bytes per bin)",
+		"pipe us-east/down drops (per bin: queue/random)",
+		"rate target zoom-session-0 (bps at each bin start)",
+		"events",
+		"t=1.250s trace-step dip500k",
+		"t=2.200s freeze us-west 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderDiag output missing %q:\n%s", want, out)
+		}
+	}
+	// Every timeline shares the axis established by the last bin (2),
+	// so each chart renders bins 0, 1 and 2 even where 1 is empty.
+	if strings.Count(out, "     1s |") < 3 {
+		t.Errorf("expected bin 1 rows in all three charts:\n%s", out)
+	}
+}
+
+func TestRenderDiagIsDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	RenderDiag(&a, sampleDiag())
+	RenderDiag(&b, sampleDiag())
+	if a.String() != b.String() {
+		t.Fatal("RenderDiag output differs across identical documents")
+	}
+}
+
+// TestRenderDiagRoundTrip feeds RenderDiag exactly what vcaplot -diag
+// sees: a document that went through the Encode/Decode artifact codec.
+func TestRenderDiagRoundTrip(t *testing.T) {
+	data, err := diag.Encode(sampleDiag())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := diag.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct, decoded strings.Builder
+	RenderDiag(&direct, sampleDiag())
+	RenderDiag(&decoded, d)
+	if direct.String() != decoded.String() {
+		t.Error("rendering differs after an Encode/Decode round trip")
+	}
+}

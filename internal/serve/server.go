@@ -22,6 +22,11 @@
 //	                             Misses fall back to the persistent store,
 //	                             so cells survive daemon restarts and job
 //	                             eviction.
+//	GET  /cells/{key}/diag     → the cell's sim-time flight-recorder
+//	                             artifact (see internal/diag), when the
+//	                             server runs with Config.Diagnostics;
+//	                             byte-identical to what `vcabench
+//	                             -diag-out` writes for the same cell.
 //	POST /units                {"spec": {...}, "scale": "tiny", "seed": 42,
 //	                            "key": "grid/zoom"} → the cell's canonical
 //	                             gob encoding (application/octet-stream).
@@ -53,6 +58,7 @@ import (
 	"sync"
 
 	"github.com/vcabench/vcabench/internal/core"
+	"github.com/vcabench/vcabench/internal/diag"
 	"github.com/vcabench/vcabench/internal/obs"
 	"github.com/vcabench/vcabench/internal/report"
 	"github.com/vcabench/vcabench/internal/store"
@@ -85,6 +91,13 @@ type Config struct {
 	// time) report here too. At most one Server may export into a given
 	// registry. Telemetry never changes results.
 	Telemetry *obs.Telemetry
+	// Diagnostics arms the sim-time flight recorder on every campaign
+	// this server executes: each cell's CellDiag document becomes
+	// servable at GET /cells/{key}/diag (and persists in Store under
+	// the servediag/ namespace), and cell JSON gains drop-cause
+	// fields. Diagnostics-armed cells cache separately from bare ones,
+	// so flipping this flag never reads a cache warmed the other way.
+	Diagnostics bool
 }
 
 // DefaultMaxJobs bounds retained finished jobs when Config.MaxJobs is
@@ -109,6 +122,7 @@ type Server struct {
 	finished []string          // finished job ids, oldest first
 	cells    map[string][]byte // scoped cell key → CellResult JSON
 	cellRefs map[string]int    // retained jobs referencing each key
+	diags    map[string][]byte // scoped cell key → CellDiag JSON artifact
 }
 
 // cellIndexKey scopes the /cells index: the same unit key holds
@@ -155,6 +169,7 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*job),
 		cells:    make(map[string][]byte),
 		cellRefs: make(map[string]int),
+		diags:    make(map[string][]byte),
 	}
 	if cfg.Telemetry != nil && cfg.Telemetry.Metrics != nil {
 		s.tel = cfg.Telemetry
@@ -360,6 +375,9 @@ func (s *Server) run(j *job, sc core.Scale) {
 	if s.tel != nil {
 		tb.WithTelemetry(s.tel)
 	}
+	if s.cfg.Diagnostics {
+		tb.WithDiagnostics()
+	}
 	res, err := core.RunCampaign(tb, j.spec, sc)
 	if err != nil {
 		fail(err.Error())
@@ -383,6 +401,16 @@ func (s *Server) run(j *job, sc core.Scale) {
 			docs = append(docs, cellDoc{unitKey: c.Key, data: cb.Bytes()})
 		}
 	}
+	// Flight-recorder documents ride alongside the rendered cells:
+	// same scoping, same eviction, served at GET /cells/{key}/diag.
+	var diagDocs []cellDoc
+	if s.cfg.Diagnostics {
+		for _, d := range tb.DiagResults() {
+			if data, err := diag.Encode(d); err == nil {
+				diagDocs = append(diagDocs, cellDoc{unitKey: d.Key, data: data})
+			}
+		}
+	}
 	// Persist the rendered cells before the job turns "done": once a
 	// poller sees the terminal status, every cell must be servable —
 	// from memory while the job is retained, from the store after a
@@ -399,6 +427,14 @@ func (s *Server) run(j *job, sc core.Scale) {
 				s.cfg.Store.Put(key, d.data)
 			}
 		}
+		// Diag artifacts are as deterministic as the cells, so the same
+		// Get-before-Put idempotence applies.
+		for _, d := range diagDocs {
+			key := core.ServeDiagKey(j.scaleName, j.seed, d.unitKey)
+			if _, ok := s.cfg.Store.Get(key); !ok {
+				s.cfg.Store.Put(key, d.data)
+			}
+		}
 	}
 
 	s.mu.Lock()
@@ -408,6 +444,16 @@ func (s *Server) run(j *job, sc core.Scale) {
 	for _, d := range docs {
 		ck := cellIndexKey(j.scaleName, j.seed, d.unitKey)
 		s.cells[ck] = d.data
+		s.cellRefs[ck]++
+		j.cellKeys = append(j.cellKeys, ck)
+	}
+	for _, d := range diagDocs {
+		// Diag entries ride the same refcounted eviction as cells. They
+		// need their own counts: a replicated campaign's diag documents
+		// are keyed per replica ("<cellKey>/rep=K"), which never appears
+		// in the cells index.
+		ck := cellIndexKey(j.scaleName, j.seed, d.unitKey)
+		s.diags[ck] = d.data
 		s.cellRefs[ck]++
 		j.cellKeys = append(j.cellKeys, ck)
 	}
@@ -432,6 +478,7 @@ func (s *Server) finish(j *job) {
 			if s.cellRefs[key]--; s.cellRefs[key] <= 0 {
 				delete(s.cellRefs, key)
 				delete(s.cells, key)
+				delete(s.diags, key)
 			}
 		}
 		delete(s.jobs, old.id)
@@ -487,18 +534,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	scaleName := s.cfg.Scale.Name
-	if q := r.URL.Query().Get("scale"); q != "" {
-		scaleName = q
+	// The {key...} wildcard swallows the whole remaining path, so the
+	// /cells/{key}/diag route is dispatched here by suffix: a trailing
+	// "/diag" selects the cell's flight-recorder artifact instead of
+	// its result JSON.
+	if base, ok := strings.CutSuffix(key, "/diag"); ok && base != "" {
+		s.serveCellDiag(w, r, base)
+		return
 	}
-	seed := s.cfg.Seed
-	if q := r.URL.Query().Get("seed"); q != "" {
-		v, err := strconv.ParseInt(q, 10, 64)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad seed %q", q)
-			return
-		}
-		seed = v
+	scaleName, seed, ok := s.cellScope(w, r)
+	if !ok {
+		return
 	}
 	s.mu.Lock()
 	data, ok := s.cells[cellIndexKey(scaleName, seed, key)]
@@ -519,6 +565,50 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// cellScope resolves the (scale, seed) query parameters shared by the
+// /cells result and diag lookups, writing the 400 itself on a bad seed.
+func (s *Server) cellScope(w http.ResponseWriter, r *http.Request) (scaleName string, seed int64, ok bool) {
+	scaleName = s.cfg.Scale.Name
+	if q := r.URL.Query().Get("scale"); q != "" {
+		scaleName = q
+	}
+	seed = s.cfg.Seed
+	if q := r.URL.Query().Get("seed"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad seed %q", q)
+			return "", 0, false
+		}
+		seed = v
+	}
+	return scaleName, seed, true
+}
+
+// serveCellDiag serves GET /cells/{key}/diag: the cell's flight-recorder
+// artifact, exactly the bytes `vcabench -diag-out` writes for the same
+// cell. Like result lookups, misses fall back to the persistent store's
+// servediag/ namespace.
+func (s *Server) serveCellDiag(w http.ResponseWriter, r *http.Request, key string) {
+	scaleName, seed, ok := s.cellScope(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	data, ok := s.diags[cellIndexKey(scaleName, seed, key)]
+	s.mu.Unlock()
+	if !ok && s.cfg.Store != nil {
+		data, ok = s.cfg.Store.Get(core.ServeDiagKey(scaleName, seed, key))
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound,
+			"no diagnostics for cell %q at scale=%s seed=%d (the daemon must run with -diag, and the cell's campaign must have finished)",
+			key, scaleName, seed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
 // unitRequest is the POST /units body: one campaign cell to execute on
 // behalf of a distributed-campaign coordinator. Spec stays raw so the
 // campaign parser's strict decoding applies verbatim.
@@ -527,6 +617,10 @@ type unitRequest struct {
 	Scale string          `json:"scale,omitempty"`
 	Seed  *int64          `json:"seed,omitempty"`
 	Key   string          `json:"key"`
+	// Diag mirrors core.UnitRequest.Diag: arm the flight recorder for
+	// this unit so the returned cell carries the same Diag document a
+	// local diagnostics-armed run would compute.
+	Diag bool `json:"diag,omitempty"`
 }
 
 // handleUnit runs one campaign cell through the engine and returns its
@@ -569,7 +663,7 @@ func (s *Server) handleUnit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	data, err := s.runUnit(spec, sc, seed, req.Key)
+	data, err := s.runUnit(spec, sc, seed, req.Key, req.Diag)
 	if err != nil {
 		code := http.StatusBadRequest
 		if _, panicked := err.(unitPanicError); panicked {
@@ -591,7 +685,7 @@ func (e unitPanicError) Error() string { return e.msg }
 // runUnit executes one cell on a fresh testbed, converting engine
 // panics into errors so a pathological unit cannot take down the
 // daemon (the coordinator computes such a unit locally instead).
-func (s *Server) runUnit(spec core.Campaign, sc core.Scale, seed int64, key string) (data []byte, err error) {
+func (s *Server) runUnit(spec core.Campaign, sc core.Scale, seed int64, key string, diagOn bool) (data []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = unitPanicError{msg: fmt.Sprintf("unit panicked: %v", r)}
@@ -603,6 +697,12 @@ func (s *Server) runUnit(spec core.Campaign, sc core.Scale, seed int64, key stri
 	}
 	if s.tel != nil {
 		tb.WithTelemetry(s.tel)
+	}
+	if diagOn {
+		// The coordinator is diagnostics-armed; matching its mode keys
+		// this unit into the diag half of the store and attaches the
+		// Diag document the returned encoding must carry.
+		tb.WithDiagnostics()
 	}
 	data, err = core.RunCampaignUnit(tb, spec, sc, key)
 	if err == nil && s.mUnits != nil {
@@ -678,6 +778,9 @@ func (s *Server) Describe() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scale=%s seed=%d workers=%d max-runs=%d",
 		s.cfg.Scale.Name, s.cfg.Seed, s.cfg.Workers, cap(s.sem))
+	if s.cfg.Diagnostics {
+		b.WriteString(" diag=on")
+	}
 	if st, ok := s.cfg.Store.(*store.Store); ok {
 		fmt.Fprintf(&b, " cache=%s", st.Dir())
 	}

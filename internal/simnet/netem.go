@@ -88,12 +88,37 @@ type PipeStats struct {
 	DropsRandom int64
 }
 
+// DropCause classifies why a pipe discarded a packet.
+type DropCause int
+
+const (
+	// DropQueue is a tail drop: the access queue's byte bound was full.
+	DropQueue DropCause = iota
+	// DropRandom is independent random loss (the netem loss discipline).
+	DropRandom
+)
+
+// PipeProbe observes per-packet pipe decisions — the flight-recorder
+// seam (see internal/diag). Every callback fires synchronously inside
+// the deterministic event loop with sim-time instants, so an installed
+// probe cannot perturb a run; a nil probe costs one branch per packet.
+type PipeProbe interface {
+	// PipeForwarded reports a packet accepted by the pipe: its L7 and
+	// wire sizes, the queue occupancy in wire bytes after enqueue (0 on
+	// the unconstrained fast path), and the queuing+serialization delay
+	// until the queue releases it (0 when forwarded immediately).
+	PipeForwarded(pipe string, at time.Time, l7, wire, queuedBytes int, wait time.Duration)
+	// PipeDropped reports a packet the pipe discarded and why.
+	PipeDropped(pipe string, at time.Time, wire int, cause DropCause)
+}
+
 // pipe is one direction of a node's access link: optional random loss,
 // optional token-bucket shaper, FIFO with a byte-bounded queue, a
 // serialization rate, and an optional fixed extra delay applied after
 // the rate stage (netem-style delay).
 type pipe struct {
 	sim        *Sim
+	name       string // "<node>/up" or "<node>/down", for probes
 	rateBps    int64
 	queueLimit int
 	shaper     *TokenBucket
@@ -103,6 +128,7 @@ type pipe struct {
 	queuedB    int
 	nextFree   time.Time
 	stats      PipeStats
+	probe      PipeProbe
 }
 
 // randSource is the minimal random interface pipes need (test seam).
@@ -115,12 +141,18 @@ func (p *pipe) deliverAfter(pkt *Packet, then func(*Packet)) {
 	wire := pkt.wireSize()
 	if p.lossProb > 0 && p.rng.f64() < p.lossProb {
 		p.stats.DropsRandom++
+		if p.probe != nil {
+			p.probe.PipeDropped(p.name, now, wire, DropRandom)
+		}
 		return
 	}
 	// Unconstrained pipe: forward immediately.
 	if p.rateBps <= 0 && p.shaper == nil && p.extraDelay <= 0 {
 		p.stats.Packets++
 		p.stats.Bytes += int64(pkt.Size)
+		if p.probe != nil {
+			p.probe.PipeForwarded(p.name, now, pkt.Size, wire, 0, 0)
+		}
 		then(pkt)
 		return
 	}
@@ -130,6 +162,9 @@ func (p *pipe) deliverAfter(pkt *Packet, then func(*Packet)) {
 	}
 	if p.queuedB+wire > limit {
 		p.stats.DropsQueue++
+		if p.probe != nil {
+			p.probe.PipeDropped(p.name, now, wire, DropQueue)
+		}
 		return
 	}
 	departAt := now
@@ -152,6 +187,9 @@ func (p *pipe) deliverAfter(pkt *Packet, then func(*Packet)) {
 	p.queuedB += wire
 	p.stats.Packets++
 	p.stats.Bytes += int64(pkt.Size)
+	if p.probe != nil {
+		p.probe.PipeForwarded(p.name, now, pkt.Size, wire, p.queuedB, departAt.Sub(now))
+	}
 	if extra := p.extraDelay; extra > 0 {
 		p.sim.At(departAt, func() { p.queuedB -= wire })
 		p.sim.At(departAt.Add(extra), func() { then(pkt) })
@@ -341,6 +379,7 @@ type Network struct {
 	jrng      *randSourceN
 	lrng      *randSource
 	distDrops int64
+	pipeProbe PipeProbe
 }
 
 type randSourceN struct {
@@ -387,6 +426,18 @@ func NewNetwork(sim *Sim, cfg NetworkConfig) *Network {
 // DistanceDrops reports packets lost to distance-dependent path loss.
 func (n *Network) DistanceDrops() int64 { return n.distDrops }
 
+// SetPipeProbe installs (or removes, with nil) the per-packet observer
+// on every access-link pipe — existing nodes and any added later. One
+// probe covers the whole network; pipes identify themselves by name
+// ("<node>/up", "<node>/down").
+func (n *Network) SetPipeProbe(p PipeProbe) {
+	n.pipeProbe = p
+	for _, node := range n.nodes {
+		node.up.probe = p
+		node.down.probe = p
+	}
+}
+
 // Sim returns the underlying simulator.
 func (n *Network) Sim() *Sim { return n.sim }
 
@@ -410,14 +461,18 @@ func (n *Network) AddNode(cfg NodeConfig) *Node {
 	}
 	node.up = &pipe{
 		sim:     n.sim,
+		name:    cfg.Name + "/up",
 		rateBps: cfg.UplinkBps, queueLimit: cfg.QueueBytes,
-		rng: &randSource{f64: lrng.Float64},
+		rng:   &randSource{f64: lrng.Float64},
+		probe: n.pipeProbe,
 	}
 	node.down = &pipe{
 		sim:     n.sim,
+		name:    cfg.Name + "/down",
 		rateBps: cfg.DownlinkBps, queueLimit: cfg.QueueBytes,
 		lossProb: cfg.LossProb,
 		rng:      &randSource{f64: lrng.Float64},
+		probe:    n.pipeProbe,
 	}
 	n.nodes[cfg.Name] = node
 	return node

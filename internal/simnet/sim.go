@@ -76,7 +76,16 @@ type Sim struct {
 	seed   int64
 	rng    *rand.Rand
 	nsteps uint64
+	// stepProbe, when set, observes every executed event: the virtual
+	// instant it ran at and the number of events still pending after it
+	// was popped. Nil (the default) costs one branch per step.
+	stepProbe func(at time.Time, depth int)
 }
+
+// SetStepProbe installs (or removes, with nil) the event-queue observer
+// — the flight-recorder seam. The probe fires in sim time, inside the
+// deterministic event loop, so recording it cannot perturb the run.
+func (s *Sim) SetStepProbe(p func(at time.Time, depth int)) { s.stepProbe = p }
 
 // NewSim creates a simulator with its clock at Epoch. All randomness in
 // the simulation derives from seed.
@@ -158,6 +167,9 @@ func (s *Sim) Step() bool {
 		}
 		s.now = e.at
 		s.nsteps++
+		if s.stepProbe != nil {
+			s.stepProbe(e.at, s.queue.Len())
+		}
 		e.fn()
 		return true
 	}

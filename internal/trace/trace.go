@@ -306,7 +306,14 @@ type Player struct {
 	cycle int
 	idx   int
 	ev    *simnet.Event
+	probe StepProbe
 }
+
+// StepProbe observes every step application in sim time — the
+// flight-recorder seam (see internal/diag). It fires synchronously
+// right after the downlink state is applied, so an installed probe
+// cannot change when or what the player applies.
+type StepProbe func(at time.Time, name string, step Step)
 
 // Play starts replaying tr against node at sim.Now(). A step with
 // AtSec == 0 applies synchronously (no event); later steps schedule
@@ -315,12 +322,21 @@ type Player struct {
 // The trace must be valid (see Validate); playing an invalid trace
 // panics rather than replaying a half-checked schedule.
 func Play(sim *simnet.Sim, node *simnet.Node, tr Trace, burst int) *Player {
+	return PlayWithProbe(sim, node, tr, burst, nil)
+}
+
+// PlayWithProbe is Play with a step observer; a nil probe makes it
+// identical to Play (same events, same instants, same applications).
+func PlayWithProbe(sim *simnet.Sim, node *simnet.Node, tr Trace, burst int, probe StepProbe) *Player {
 	if err := tr.Validate(); err != nil {
 		panic("trace: Play: " + err.Error())
 	}
-	p := &Player{sim: sim, node: node, tr: tr, burst: burst, start: sim.Now()}
+	p := &Player{sim: sim, node: node, tr: tr, burst: burst, start: sim.Now(), probe: probe}
 	if tr.Steps[0].AtSec == 0 {
 		p.node.SetDownlinkState(tr.Steps[0].state(burst))
+		if p.probe != nil {
+			p.probe(sim.Now(), tr.Name, tr.Steps[0])
+		}
 		p.idx = 1
 	}
 	p.scheduleNext()
@@ -346,6 +362,9 @@ func (p *Player) scheduleNext() {
 	at := p.start.Add(time.Duration(p.cycle)*secs(p.tr.RepeatSec) + secs(step.AtSec))
 	p.ev = p.sim.At(at, func() {
 		p.node.SetDownlinkState(step.state(p.burst))
+		if p.probe != nil {
+			p.probe(p.sim.Now(), p.tr.Name, step)
+		}
 		p.idx++
 		p.scheduleNext()
 	})

@@ -38,6 +38,7 @@ import (
 
 	"github.com/vcabench/vcabench/internal/cluster"
 	"github.com/vcabench/vcabench/internal/core"
+	"github.com/vcabench/vcabench/internal/diag"
 	"github.com/vcabench/vcabench/internal/geo"
 	"github.com/vcabench/vcabench/internal/media"
 	"github.com/vcabench/vcabench/internal/obs"
@@ -147,6 +148,17 @@ type (
 	Clock = obs.Clock
 	// StoreOptions tunes OpenStoreOptions (LRU bound, telemetry).
 	StoreOptions = store.Options
+	// CellDiag is one campaign cell's flight-recorder document:
+	// sim-time-binned per-pipe series (throughput, queuing delay,
+	// queue occupancy, drops by cause), event-queue depth, and a
+	// discrete event log (rate-ladder switches, trace steps, FEC
+	// recoveries, freezes). Unlike Telemetry, which records walltime
+	// facts about how a run was produced, CellDiag records sim-time
+	// facts about what the simulation did — it is byte-identical
+	// across worker counts and cache temperatures for a given cell.
+	// See Testbed.WithDiagnostics, RunOpts.Diagnostics and
+	// EncodeDiag/DecodeDiag.
+	CellDiag = diag.CellDiag
 )
 
 // Scales.
@@ -287,6 +299,14 @@ type RunOpts struct {
 	// Tracer attached) execution spans for the run. Telemetry never
 	// changes rendered bytes, only observes how they were produced.
 	Telemetry *Telemetry
+	// Diagnostics, when non-nil, arms the sim-time flight recorder and
+	// receives one CellDiag document per campaign cell after the run,
+	// in sorted key order. Arming diagnostics keys cached cells
+	// separately (a bare-mode cache is never consulted) but does not
+	// change the experiment's rendered tables; campaign JSON gains
+	// drop-cause fields. Experiments that are not campaign-backed (the
+	// lag figures) produce no documents.
+	Diagnostics func(*CellDiag)
 }
 
 // ErrStore marks cell-persistence failures returned by RunWithOpts:
@@ -314,12 +334,30 @@ func RunWithOpts(id string, seed int64, sc Scale, opts RunOpts, w io.Writer) err
 	if opts.Telemetry != nil {
 		tb.WithTelemetry(opts.Telemetry)
 	}
+	if opts.Diagnostics != nil {
+		tb.WithDiagnostics()
+	}
 	e.Run(tb, sc, w)
+	if opts.Diagnostics != nil {
+		for _, d := range tb.DiagResults() {
+			opts.Diagnostics(d)
+		}
+	}
 	if err := tb.StoreErr(); err != nil {
 		return fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	return nil
 }
+
+// EncodeDiag renders a flight-recorder document as its canonical
+// versioned JSON artifact: indented, trailing newline, byte-identical
+// for a given cell at any worker count or cache temperature.
+func EncodeDiag(d *CellDiag) ([]byte, error) { return diag.Encode(d) }
+
+// DecodeDiag parses a diagnostics artifact produced by EncodeDiag (or
+// by vcabench -diag-out / vcabenchd's /cells/{key}/diag endpoint),
+// rejecting unknown schema versions and trailing garbage.
+func DecodeDiag(data []byte) (*CellDiag, error) { return diag.Decode(data) }
 
 // OpenStore creates (or reopens) a persistent result store rooted at
 // dir, shareable between the CLI, the vcabenchd daemon and library
