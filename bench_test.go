@@ -47,6 +47,7 @@ func runExperimentParallel(b *testing.B, id string, workers int) {
 // from a pre-populated store. The gap is the cache win the persistent
 // result store buys every rerun, CI job and daemon query.
 func BenchmarkFig12SweepCold(b *testing.B) {
+	b.ReportAllocs() // allocs/op is a gated number: see BENCH_10.json
 	for i := 0; i < b.N; i++ {
 		st, err := vcabench.OpenStore(b.TempDir())
 		if err != nil {

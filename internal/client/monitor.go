@@ -18,11 +18,25 @@ import (
 // their service ranges; everything else defaults to capture.IPForName.
 type Resolver func(node string) (capture.IPv4, bool)
 
+// rtpSlabChunk is how many RTPInfo records one slab chunk holds. The
+// capture keeps a pointer per RTP record, so slab entries are never
+// reused — chunking just turns one heap allocation per packet into one
+// per 1024 packets on the capture hot path.
+const rtpSlabChunk = 1024
+
 // Monitor is the client's traffic-capture component.
 type Monitor struct {
 	trace   *capture.Trace
 	local   capture.IPv4
 	resolve Resolver
+	// ips memoizes name → IP resolution. Safe to cache on first use: a
+	// name reaches the tap only via a packet, which can only exist after
+	// the named node (and, for platform endpoints, its service-range
+	// registration) was provisioned — so the answer for a given name
+	// never changes afterwards.
+	ips map[string]capture.IPv4
+	// rtpSlab is the current chunk RTP header copies are appended to.
+	rtpSlab []capture.RTPInfo
 }
 
 // NewMonitor attaches a capture tap to the node. resolve may be nil.
@@ -31,6 +45,7 @@ func NewMonitor(node *simnet.Node, resolve Resolver) *Monitor {
 		trace:   capture.NewTrace(node.Name()),
 		local:   capture.IPForName(node.Name()),
 		resolve: resolve,
+		ips:     make(map[string]capture.IPv4),
 	}
 	node.Tap(func(dir simnet.Direction, pkt *simnet.Packet, at time.Time) {
 		m.record(dir, pkt, at)
@@ -39,12 +54,17 @@ func NewMonitor(node *simnet.Node, resolve Resolver) *Monitor {
 }
 
 func (m *Monitor) ipOf(node string) capture.IPv4 {
+	if ip, ok := m.ips[node]; ok {
+		return ip
+	}
+	ip := capture.IPForName(node)
 	if m.resolve != nil {
-		if ip, ok := m.resolve(node); ok {
-			return ip
+		if rip, ok := m.resolve(node); ok {
+			ip = rip
 		}
 	}
-	return capture.IPForName(node)
+	m.ips[node] = ip
+	return ip
 }
 
 func (m *Monitor) record(dir simnet.Direction, pkt *simnet.Packet, at time.Time) {
@@ -60,8 +80,11 @@ func (m *Monitor) record(dir simnet.Direction, pkt *simnet.Packet, at time.Time)
 		rec.Dir = capture.In
 	}
 	if rp, ok := pkt.Payload.(*rtp.Packet); ok {
-		info := rp.Info
-		rec.RTP = &info
+		if len(m.rtpSlab) == cap(m.rtpSlab) {
+			m.rtpSlab = make([]capture.RTPInfo, 0, rtpSlabChunk)
+		}
+		m.rtpSlab = append(m.rtpSlab, rp.Info)
+		rec.RTP = &m.rtpSlab[len(m.rtpSlab)-1]
 	}
 	m.trace.Add(rec)
 }

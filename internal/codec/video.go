@@ -95,6 +95,11 @@ type VideoEncoder struct {
 	sinceKey   int
 	debtBits   float64
 	targetBps  float64
+	// pool recycles the resize ladder's transient frames (the
+	// down-scaled source and its quantized form). Reconstructions are
+	// never pooled: they outlive the encoder call and downstream QoE
+	// caches key on their identity.
+	pool *media.FramePool
 }
 
 // NewVideoEncoder creates an encoder. Config zero-values are defaulted.
@@ -121,6 +126,7 @@ func NewVideoEncoder(cfg VideoEncoderConfig) *VideoEncoder {
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		targetBps: cfg.TargetBps,
+		pool:      media.NewFramePool(),
 	}
 }
 
@@ -208,7 +214,12 @@ func (e *VideoEncoder) Encode(f *media.Frame) EncodedFrame {
 	if scale == 1 {
 		recon = e.quantize(f, qstep)
 	} else {
-		recon = e.quantize(f.Resize(encW, encH), qstep).Resize(f.W, f.H)
+		small := f.ResizePooled(e.pool, encW, encH)
+		qsmall := e.pool.Get(encW, encH)
+		e.quantizeTo(qsmall, small, qstep)
+		recon = qsmall.Resize(f.W, f.H)
+		e.pool.Put(small)
+		e.pool.Put(qsmall)
 	}
 	if key {
 		e.sinceKey = 0
@@ -248,11 +259,19 @@ func solveQStep(m, bits, npix float64) float64 {
 // quantize produces the reconstructed frame: source plus uniform
 // quantization noise in ±Δ/2.
 func (e *VideoEncoder) quantize(f *media.Frame, qstep float64) *media.Frame {
-	r := f.Clone()
+	r := media.NewFrame(f.W, f.H)
+	e.quantizeTo(r, f, qstep)
+	return r
+}
+
+// quantizeTo writes the quantized form of f into r (same geometry,
+// every pixel), drawing one noise sample per pixel in row-major order —
+// the exact draw sequence of the historical clone-then-mutate form.
+func (e *VideoEncoder) quantizeTo(r, f *media.Frame, qstep float64) {
 	half := qstep / 2
 	for i := range r.Pix {
 		n := (e.rng.Float64()*2 - 1) * half
-		v := float64(r.Pix[i]) + n
+		v := float64(f.Pix[i]) + n
 		if v < 0 {
 			v = 0
 		}
@@ -261,7 +280,6 @@ func (e *VideoEncoder) quantize(f *media.Frame, qstep float64) *media.Frame {
 		}
 		r.Pix[i] = uint8(v)
 	}
-	return r
 }
 
 // VideoDecoder reconstructs the viewer-visible frame sequence, freezing

@@ -139,6 +139,13 @@ func RunQoEStudyWithSetup(tb *Testbed, kind platform.Kind, host geo.Region, recv
 		setup(nodes)
 	}
 
+	// One scorer per study: receivers of a session score against the
+	// same injected frames and share decoded-frame pointers, so the
+	// scorer's identity-keyed caches collapse that repeated work without
+	// changing any output bit. The scorer lives and dies with this call,
+	// on this goroutine — fork-safe by construction.
+	scorer := qoe.NewScorer()
+
 	// A trace-driven cell bins every receiver's downlink bytes over
 	// session time; bins average across sessions × receivers at the end.
 	var binBytes []int64
@@ -184,7 +191,7 @@ func RunQoEStudyWithSetup(tb *Testbed, kind platform.Kind, host geo.Region, recv
 		for _, r := range recvs {
 			rec := r.Record(hostClient)
 			tb.recordFreezes(rec, r.Name(), from, sc.Profile.FPS)
-			v := qoe.CompareVideo(rec.Ref, rec.Displayed, sc.QoEStride)
+			v := scorer.CompareVideo(rec.Ref, rec.Displayed, sc.QoEStride)
 			res.PSNR.Add(v.PSNR)
 			res.SSIM.Add(v.SSIM)
 			res.VIFP.Add(v.VIFP)

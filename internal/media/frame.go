@@ -35,6 +35,46 @@ func (f *Frame) Clone() *Frame {
 	return g
 }
 
+// FramePool recycles frame buffers by exact pixel count, for transient
+// frames whose lifetime the caller fully controls (codec resize-ladder
+// intermediates, for example). It is deliberately not a sync.Pool: a
+// FramePool belongs to one owner on one goroutine, so reuse order is
+// deterministic and never crosses forked testbeds. Buffers come back
+// dirty — Get's caller must overwrite every pixel before reading any.
+//
+// Frames that escape into long-lived structures (encoder reconstructions,
+// recordings, anything a QoE scorer may see) must NOT come from a pool:
+// downstream caches key on frame identity, which reuse would corrupt.
+type FramePool struct {
+	free map[int][]*Frame
+}
+
+// NewFramePool returns an empty pool.
+func NewFramePool() *FramePool { return &FramePool{free: make(map[int][]*Frame)} }
+
+// Get returns a w×h frame with undefined pixel contents.
+func (p *FramePool) Get(w, h int) *Frame {
+	n := w * h
+	if bucket := p.free[n]; len(bucket) > 0 {
+		f := bucket[len(bucket)-1]
+		p.free[n] = bucket[:len(bucket)-1]
+		f.W, f.H = w, h
+		return f
+	}
+	if w <= 0 || h <= 0 {
+		panic("media: non-positive frame dimensions")
+	}
+	return &Frame{W: w, H: h, Pix: make([]uint8, n)}
+}
+
+// Put returns a frame to the pool. The caller must not touch it again.
+func (p *FramePool) Put(f *Frame) {
+	if f == nil || len(f.Pix) == 0 {
+		return
+	}
+	p.free[len(f.Pix)] = append(p.free[len(f.Pix)], f)
+}
+
 // At returns the pixel at (x, y).
 func (f *Frame) At(x, y int) uint8 { return f.Pix[y*f.W+x] }
 
@@ -129,7 +169,23 @@ func (f *Frame) Resize(w, h int) *Frame {
 	if w == f.W && h == f.H {
 		return f.Clone()
 	}
-	g := NewFrame(w, h)
+	return f.resizeTo(NewFrame(w, h))
+}
+
+// ResizePooled is Resize into a buffer from p; the result must go back
+// via p.Put once consumed. The interpolation is identical to Resize.
+func (f *Frame) ResizePooled(p *FramePool, w, h int) *Frame {
+	if w == f.W && h == f.H {
+		g := p.Get(w, h)
+		copy(g.Pix, f.Pix)
+		return g
+	}
+	return f.resizeTo(p.Get(w, h))
+}
+
+// resizeTo writes the bilinear rescale of f into g (every pixel).
+func (f *Frame) resizeTo(g *Frame) *Frame {
+	w, h := g.W, g.H
 	xr := float64(f.W-1) / float64(maxInt(w-1, 1))
 	yr := float64(f.H-1) / float64(maxInt(h-1, 1))
 	for y := 0; y < h; y++ {

@@ -292,3 +292,78 @@ func TestMotionClassString(t *testing.T) {
 		t.Error("MotionClass.String broken")
 	}
 }
+
+// TestIsFlashFrameMatchesEmission pins the IsFlashFrame oracle against
+// frames a NewFlash feed actually emits: a frame is "flash" iff its mean
+// luma is bright, and the oracle must agree frame by frame — including
+// at the short-period clamp, where the period floors at FlashFrames.
+func TestIsFlashFrameMatchesEmission(t *testing.T) {
+	cases := []struct {
+		p         Profile
+		periodSec float64
+	}{
+		{Profile{W: 32, H: 24, FPS: 10}, 2.0},
+		{Profile{W: 32, H: 24, FPS: 30}, 2.0},
+		{Profile{W: 16, H: 16, FPS: 10}, 0.7},
+		{Profile{W: 16, H: 16, FPS: 10}, 0.01}, // clamps to FlashFrames
+	}
+	for _, c := range cases {
+		src := NewFlash(c.p, c.periodSec)
+		frames := Record(src, 4*c.p.FPS)
+		for i, f := range frames {
+			var sum int
+			for _, v := range f.Pix {
+				sum += int(v)
+			}
+			bright := sum > len(f.Pix)*50
+			if got := IsFlashFrame(c.p, c.periodSec, i); got != bright {
+				t.Fatalf("fps=%d period=%g frame %d: IsFlashFrame=%v but emitted brightness says %v",
+					c.p.FPS, c.periodSec, i, got, bright)
+			}
+		}
+	}
+}
+
+// TestFramePoolCycleAllocFree pins the pooled-frame satellite: once the
+// pool holds buffers of the working sizes, a resize-ladder style cycle
+// (pooled downscale, pooled scratch, both returned) costs zero heap
+// allocations per iteration.
+func TestFramePoolCycleAllocFree(t *testing.T) {
+	p := NewFramePool()
+	src := NewFrame(64, 48)
+	for i := range src.Pix {
+		src.Pix[i] = uint8(i * 31)
+	}
+	cycle := func() {
+		small := src.ResizePooled(p, 32, 24)
+		scratch := p.Get(32, 24)
+		copy(scratch.Pix, small.Pix)
+		p.Put(small)
+		p.Put(scratch)
+	}
+	cycle() // warm: seed the 32x24 bucket
+	if avg := testing.AllocsPerRun(200, cycle); avg > 0.05 {
+		t.Errorf("pooled frame cycle allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestFramePoolRecyclesByPixelCount pins the bucket contract: a frame
+// returned to the pool comes back from the next Get with the same pixel
+// count — including across geometries, which Get retags.
+func TestFramePoolRecyclesByPixelCount(t *testing.T) {
+	p := NewFramePool()
+	f := p.Get(16, 12)
+	p.Put(f)
+	g := p.Get(16, 12)
+	if g != f {
+		t.Fatal("same-size Get did not recycle the returned frame")
+	}
+	p.Put(g)
+	h := p.Get(12, 16) // 192 pixels too: same bucket, new geometry
+	if h != f {
+		t.Fatal("equal-pixel-count Get did not recycle the returned frame")
+	}
+	if h.W != 12 || h.H != 16 {
+		t.Fatalf("recycled frame not retagged: %dx%d, want 12x16", h.W, h.H)
+	}
+}

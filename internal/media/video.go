@@ -143,22 +143,32 @@ func (s *highMotionSource) Next() *Frame {
 	return f
 }
 
+// FlashFrames is the number of consecutive bright frames each flash
+// burst carries. It is the single source of truth shared by the feed
+// (flashSource) and the oracle (IsFlashFrame), so the two cannot drift.
+const FlashFrames = 2
+
 // flashSource is the lag-probe feed: blank frames with a bright image for
-// flashFrames frames once per period (paper: two-second periodicity).
+// FlashFrames frames once per period (paper: two-second periodicity).
 type flashSource struct {
-	p           Profile
-	t           int
-	periodFr    int
-	flashFrames int
+	p        Profile
+	t        int
+	periodFr int
 }
 
 // NewFlash creates the Fig-2 feed. period is in seconds of content time.
 func NewFlash(p Profile, periodSec float64) Source {
+	return &flashSource{p: p, periodFr: flashPeriodFrames(p, periodSec)}
+}
+
+// flashPeriodFrames converts a flash period to frames, clamped so a
+// period never underruns the flash burst itself.
+func flashPeriodFrames(p Profile, periodSec float64) int {
 	pf := int(periodSec * float64(p.FPS))
-	if pf < 2 {
-		pf = 2
+	if pf < FlashFrames {
+		pf = FlashFrames
 	}
-	return &flashSource{p: p, periodFr: pf, flashFrames: 2}
+	return pf
 }
 
 func (s *flashSource) Dims() (int, int) { return s.p.W, s.p.H }
@@ -166,7 +176,7 @@ func (s *flashSource) FPS() int         { return s.p.FPS }
 
 func (s *flashSource) Next() *Frame {
 	f := NewFrame(s.p.W, s.p.H)
-	if s.t%s.periodFr < s.flashFrames {
+	if s.t%s.periodFr < FlashFrames {
 		// A high-detail flash image: checkerboard (incompressible burst).
 		for y := 0; y < s.p.H; y++ {
 			for x := 0; x < s.p.W; x++ {
@@ -183,11 +193,7 @@ func (s *flashSource) Next() *Frame {
 // IsFlashFrame reports whether the i-th frame of a NewFlash feed with the
 // given parameters carries the flash image.
 func IsFlashFrame(p Profile, periodSec float64, i int) bool {
-	pf := int(periodSec * float64(p.FPS))
-	if pf < 2 {
-		pf = 2
-	}
-	return i%pf < 2
+	return i%flashPeriodFrames(p, periodSec) < FlashFrames
 }
 
 // padded wraps a source, adding the Fig-13 border.

@@ -146,6 +146,28 @@ type Platform struct {
 	// the flight-recorder seam (see internal/diag). It fires in sim
 	// time, after the target is set but before OnTarget callbacks.
 	rateProbe func(session int, bps float64)
+	// freeEnvs recycles Meet relay envelopes: each is consumed exactly
+	// once at the second forwarding hop, so the free-list stays small
+	// (bounded by envelopes in flight) and reuse is single-goroutine.
+	freeEnvs []*envelope
+}
+
+// newEnvelope takes a relay envelope from the free-list.
+func (p *Platform) newEnvelope(final simnet.Addr, inner any) *envelope {
+	if k := len(p.freeEnvs); k > 0 {
+		env := p.freeEnvs[k-1]
+		p.freeEnvs = p.freeEnvs[:k-1]
+		env.final, env.inner = final, inner
+		return env
+	}
+	return &envelope{final: final, inner: inner}
+}
+
+// releaseEnvelope recycles a consumed envelope, dropping its payload
+// reference.
+func (p *Platform) releaseEnvelope(env *envelope) {
+	env.inner = nil
+	p.freeEnvs = append(p.freeEnvs, env)
 }
 
 // SetRateProbe installs (or removes, with nil) the rate-target

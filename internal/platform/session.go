@@ -8,7 +8,9 @@ import (
 )
 
 // envelope carries media between two Meet endpoints, addressed to its
-// final client.
+// final client. Envelopes are pooled on the Platform: one is allocated
+// per relayed packet on the Meet fan-out path, consumed exactly once at
+// the second hop, and recycled there.
 type envelope struct {
 	final simnet.Addr
 	inner any
@@ -61,12 +63,12 @@ func (a *Attachment) Send(l7 int, payload any) {
 	if a.sendTo.Node == "" {
 		panic("platform: Send before Session.Start")
 	}
-	a.node.Send(&simnet.Packet{
-		From:    simnet.Addr{Port: a.port},
-		To:      a.sendTo,
-		Size:    l7,
-		Payload: payload,
-	})
+	pkt := a.sess.p.net.NewPacket()
+	pkt.From = simnet.Addr{Port: a.port}
+	pkt.To = a.sendTo
+	pkt.Size = l7
+	pkt.Payload = payload
+	a.node.Send(pkt)
 }
 
 // OnTarget registers a callback fired when the platform changes the
@@ -230,18 +232,25 @@ func (s *Session) addEndpoint(ep *Endpoint) {
 // server reassigns capacity).
 func (s *Session) wireEndpoint(ep *Endpoint) {
 	port := s.p.cfg.MediaPort
+	net := s.p.net
 	s.p.respondToProbes(ep, func(pkt *simnet.Packet) {
-		if env, ok := pkt.Payload.(envelope); ok {
+		// Outbound packets are built here, synchronously — the inbound
+		// pkt may be recycled the moment this handler returns — and
+		// handed to the simulator as deferred sends. SendAt schedules
+		// exactly one event per forward at the same (time, seq) a
+		// closure-based sim.At would have, so event and RNG order are
+		// unchanged; only the per-packet closure and Packet-literal
+		// allocations are gone.
+		if env, ok := pkt.Payload.(*envelope); ok {
 			// Second hop (Meet): deliver to the final client.
 			dst := s.attachmentFor(env.final.Node)
-			s.p.sim.At(s.forwardAt(dst), func() {
-				ep.Node.Send(&simnet.Packet{
-					From:    simnet.Addr{Port: port},
-					To:      env.final,
-					Size:    pkt.Size,
-					Payload: env.inner,
-				})
-			})
+			out := net.NewPacket()
+			out.From = simnet.Addr{Port: port}
+			out.To = env.final
+			out.Size = pkt.Size
+			out.Payload = env.inner
+			s.p.releaseEnvelope(env)
+			ep.Node.SendAt(s.forwardAt(dst), out)
 			return
 		}
 		// Media from one of this endpoint's clients: fan out.
@@ -250,26 +259,19 @@ func (s *Session) wireEndpoint(ep *Endpoint) {
 			if dst.node.Name() == src.Node {
 				continue
 			}
-			dst := dst
 			final := simnet.Addr{Node: dst.node.Name(), Port: dst.port}
-			s.p.sim.At(s.forwardAt(dst), func() {
-				if dst.ep != nil && dst.ep != ep {
-					// Relay across PoPs to the receiver's endpoint.
-					ep.Node.Send(&simnet.Packet{
-						From:    simnet.Addr{Port: port},
-						To:      dst.ep.Addr(port),
-						Size:    pkt.Size,
-						Payload: envelope{final: final, inner: pkt.Payload},
-					})
-					return
-				}
-				ep.Node.Send(&simnet.Packet{
-					From:    simnet.Addr{Port: port},
-					To:      final,
-					Size:    pkt.Size,
-					Payload: pkt.Payload,
-				})
-			})
+			out := net.NewPacket()
+			out.From = simnet.Addr{Port: port}
+			out.Size = pkt.Size
+			if dst.ep != nil && dst.ep != ep {
+				// Relay across PoPs to the receiver's endpoint.
+				out.To = dst.ep.Addr(port)
+				out.Payload = s.p.newEnvelope(final, pkt.Payload)
+			} else {
+				out.To = final
+				out.Payload = pkt.Payload
+			}
+			ep.Node.SendAt(s.forwardAt(dst), out)
 		}
 	})
 }

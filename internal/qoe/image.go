@@ -19,10 +19,41 @@ type fimg struct {
 
 func newFimg(w, h int) *fimg { return &fimg{w: w, h: h, v: make([]float64, w*h)} }
 
-func fromFrame(f *media.Frame) *fimg {
-	im := newFimg(f.W, f.H)
-	for i, p := range f.Pix {
-		im.v[i] = float64(p)
+// fimgPool recycles float-image buffers by exact pixel count. The metric
+// pipelines churn through large intermediates (the dominant allocation
+// source of a cold campaign cell); pooling them per Scorer keeps reuse
+// single-goroutine and deterministic. Buffers come back dirty — every
+// producer below writes each output element before it is read, so no
+// zeroing pass is needed.
+type fimgPool struct {
+	free map[int][]*fimg
+}
+
+func newFimgPool() *fimgPool { return &fimgPool{free: make(map[int][]*fimg)} }
+
+func (p *fimgPool) get(w, h int) *fimg {
+	n := w * h
+	if bucket := p.free[n]; len(bucket) > 0 {
+		im := bucket[len(bucket)-1]
+		p.free[n] = bucket[:len(bucket)-1]
+		im.w, im.h = w, h
+		return im
+	}
+	return &fimg{w: w, h: h, v: make([]float64, n)}
+}
+
+func (p *fimgPool) put(im *fimg) {
+	if im == nil || len(im.v) == 0 {
+		return
+	}
+	n := len(im.v)
+	p.free[n] = append(p.free[n], im)
+}
+
+func fromFrame(p *fimgPool, f *media.Frame) *fimg {
+	im := p.get(f.W, f.H)
+	for i, px := range f.Pix {
+		im.v[i] = float64(px)
 	}
 	return im
 }
@@ -47,7 +78,17 @@ func gaussianKernel(n int, sigma float64) []float64 {
 
 // convValid applies a separable kernel and returns only the fully-covered
 // region, shrinking the image by len(k)-1 in each dimension.
-func (im *fimg) convValid(k []float64) *fimg {
+//
+// Both passes run through convTaps: per output element the tap products
+// are added in ascending tap order — exactly the order of the classic
+// tap-inner loop — and float64 partials round identically whether they
+// live in a register or a slice slot, so the result is bit-identical to
+// the naive form. The horizontal pass reads taps at stride 1, the
+// vertical pass at stride outW (consecutive rows of the intermediate),
+// both streaming memory sequentially and writing each output exactly
+// once. The kernels are elementwise with separate multiply and add
+// (never FMA), preserving bit identity at any SIMD width.
+func convValid(p *fimgPool, im *fimg, k []float64) *fimg {
 	n := len(k)
 	outW := im.w - n + 1
 	outH := im.h - n + 1
@@ -55,49 +96,33 @@ func (im *fimg) convValid(k []float64) *fimg {
 		return newFimg(0, 0)
 	}
 	// Horizontal pass.
-	tmp := newFimg(outW, im.h)
+	tmp := p.get(outW, im.h)
 	for y := 0; y < im.h; y++ {
-		row := im.v[y*im.w : (y+1)*im.w]
-		out := tmp.v[y*outW : (y+1)*outW]
-		for x := 0; x < outW; x++ {
-			var s float64
-			for i := 0; i < n; i++ {
-				s += row[x+i] * k[i]
-			}
-			out[x] = s
-		}
+		convTaps(tmp.v[y*outW:(y+1)*outW], im.v[y*im.w:], k, 1)
 	}
 	// Vertical pass.
-	out := newFimg(outW, outH)
+	out := p.get(outW, outH)
 	for y := 0; y < outH; y++ {
-		dst := out.v[y*outW : (y+1)*outW]
-		for x := 0; x < outW; x++ {
-			var s float64
-			for i := 0; i < n; i++ {
-				s += tmp.v[(y+i)*outW+x] * k[i]
-			}
-			dst[x] = s
-		}
+		convTaps(out.v[y*outW:(y+1)*outW], tmp.v[y*outW:], k, outW)
 	}
+	p.put(tmp)
 	return out
 }
 
 // mul returns the element-wise product of two same-sized images.
-func mul(a, b *fimg) *fimg {
-	out := newFimg(a.w, a.h)
-	for i := range out.v {
-		out.v[i] = a.v[i] * b.v[i]
-	}
+func mul(p *fimgPool, a, b *fimg) *fimg {
+	out := p.get(a.w, a.h)
+	mulVec(out.v, a.v, b.v)
 	return out
 }
 
 // downsample2 halves the image by 2x2 averaging.
-func (im *fimg) downsample2() *fimg {
+func downsample2(p *fimgPool, im *fimg) *fimg {
 	w, h := im.w/2, im.h/2
 	if w == 0 || h == 0 {
 		return newFimg(0, 0)
 	}
-	out := newFimg(w, h)
+	out := p.get(w, h)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			s := im.at(2*x, 2*y) + im.at(2*x+1, 2*y) +

@@ -1,0 +1,16 @@
+//go:build amd64
+
+package qoe
+
+import "testing"
+
+// TestVecKernelsSSE2Path forces the SSE2 kernels on an AVX2 machine so
+// both amd64 paths are exercised by the same bit-identity sweep.
+func TestVecKernelsSSE2Path(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("already on the SSE2 path")
+	}
+	useAVX2 = false
+	defer func() { useAVX2 = true }()
+	TestVecKernelsBitIdentical(t)
+}

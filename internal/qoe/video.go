@@ -43,32 +43,38 @@ const (
 // SSIM returns the mean structural similarity index between two frames.
 // The result is in [-1, 1]; 1 means identical.
 func SSIM(ref, dist *media.Frame) float64 {
+	return NewScorer().ssimPair(ref, dist)
+}
+
+// ssimPair is SSIM against the scorer's per-image stat cache. Only the
+// cross term (the Gaussian-windowed product image) is pair-specific.
+func (sc *Scorer) ssimPair(ref, dist *media.Frame) float64 {
 	mustMatch(ref, dist)
 	if ref.W < ssimWindow || ref.H < ssimWindow {
 		// Degenerate tiny frames: fall back to a global SSIM.
 		return globalSSIM(ref, dist)
 	}
-	k := gaussianKernel(ssimWindow, ssimSigma)
-	x := fromFrame(ref)
-	y := fromFrame(dist)
-	mux := x.convValid(k)
-	muy := y.convValid(k)
-	sxx := mul(x, x).convValid(k)
-	syy := mul(y, y).convValid(k)
-	sxy := mul(x, y).convValid(k)
+	sx := sc.ssimStats(ref)
+	sy := sc.ssimStats(dist)
+	xy := mul(sc.pool, sx.base, sy.base)
+	sxy := convValid(sc.pool, xy, sc.kssim)
+	sc.pool.put(xy)
 
 	c1 := (ssimK1 * ssimL) * (ssimK1 * ssimL)
 	c2 := (ssimK2 * ssimL) * (ssimK2 * ssimL)
+	mux, muy := sx.ssimMu.v, sy.ssimMu.v
+	sxxv, syyv := sx.ssimSxx.v, sy.ssimSxx.v
 	var sum float64
-	for i := range mux.v {
-		mx, my := mux.v[i], muy.v[i]
-		vx := sxx.v[i] - mx*mx
-		vy := syy.v[i] - my*my
+	for i := range mux {
+		mx, my := mux[i], muy[i]
+		vx := sxxv[i] - mx*mx
+		vy := syyv[i] - my*my
 		cxy := sxy.v[i] - mx*my
 		sum += ((2*mx*my + c1) * (2*cxy + c2)) /
 			((mx*mx + my*my + c1) * (vx + vy + c2))
 	}
-	return sum / float64(len(mux.v))
+	sc.pool.put(sxy)
+	return sum / float64(len(mux))
 }
 
 func globalSSIM(ref, dist *media.Frame) float64 {
@@ -103,30 +109,39 @@ const vifSigmaNsq = 2.0
 // frames, following the published four-scale pixel-domain approximation.
 // 1 means identical; heavier distortion drives it toward 0.
 func VIFP(ref, dist *media.Frame) float64 {
+	return NewScorer().vifPair(ref, dist)
+}
+
+// vifPair is VIFp against the scorer's cached pyramids. Per pair only
+// the cross term and the information-sum loop remain.
+func (sc *Scorer) vifPair(ref, dist *media.Frame) float64 {
 	mustMatch(ref, dist)
-	x := fromFrame(ref)
-	y := fromFrame(dist)
+	sx := sc.vifStats(ref)
+	sy := sc.vifStats(dist)
+	scales := sx.vifScales
+	if sy.vifScales < scales {
+		// Pyramid depth depends only on geometry, which mustMatch pinned
+		// equal — but stay defensive.
+		scales = sy.vifScales
+	}
 	var num, den float64
-	for scale := 1; scale <= 4; scale++ {
-		n := 1<<(5-scale) + 1 // 17, 9, 5, 3
-		k := gaussianKernel(n, float64(n)/5)
-		if scale > 1 {
-			x = x.convValid(k).downsample2()
-			y = y.convValid(k).downsample2()
-			if x.w < n || x.h < n {
-				break
-			}
-		}
-		mux := x.convValid(k)
-		muy := y.convValid(k)
-		sxx := mul(x, x).convValid(k)
-		syy := mul(y, y).convValid(k)
-		sxy := mul(x, y).convValid(k)
+	for s := 0; s < scales; s++ {
+		vx0, vy0 := &sx.vif[s], &sy.vif[s]
+		xy := mul(sc.pool, vx0.x, vy0.x)
+		sxy := convValid(sc.pool, xy, sc.kvif[s])
+		sc.pool.put(xy)
+		mux, muy := vx0.mu.v, vy0.mu.v
+		sxxv, syyv := vx0.sxx.v, vy0.sxx.v
+		// The denominator term is a pure function of the reference side,
+		// so its per-element logs are cached on sx and summed here in the
+		// same element order the inline computation used — identical
+		// values added in identical order, hence identical bits.
+		dlv := sc.denLogFor(sx, s).v
 		const eps = 1e-10
-		for i := range mux.v {
-			mx, my := mux.v[i], muy.v[i]
-			vx := sxx.v[i] - mx*mx
-			vy := syy.v[i] - my*my
+		for i := range mux {
+			mx, my := mux[i], muy[i]
+			vx := sxxv[i] - mx*mx
+			vy := syyv[i] - my*my
 			cxy := sxy.v[i] - mx*my
 			if vx < 0 {
 				vx = 0
@@ -152,8 +167,9 @@ func VIFP(ref, dist *media.Frame) float64 {
 				svsq = eps
 			}
 			num += math.Log10(1 + g*g*vx/(svsq+vifSigmaNsq))
-			den += math.Log10(1 + vx/vifSigmaNsq)
+			den += dlv[i]
 		}
+		sc.pool.put(sxy)
 	}
 	if den == 0 {
 		return 1
@@ -189,7 +205,19 @@ func (r VideoResult) String() string {
 // shown for that slot (scored as a black frame, matching how recordings
 // of a dead stream score). stride samples every stride-th slot for speed
 // (1 = every frame).
+//
+// One-shot convenience over a fresh Scorer; studies that score many
+// recordings of the same session should reuse one Scorer so repeated
+// (reference, shown) pairs — frozen slots, receivers sharing a decoded
+// frame — hit its caches.
 func CompareVideo(ref, displayed []*media.Frame, stride int) VideoResult {
+	return NewScorer().CompareVideo(ref, displayed, stride)
+}
+
+// CompareVideo scores a displayed sequence against its reference through
+// the scorer's caches. See the package-level CompareVideo for the slot
+// conventions.
+func (sc *Scorer) CompareVideo(ref, displayed []*media.Frame, stride int) VideoResult {
 	if len(ref) != len(displayed) {
 		panic(fmt.Sprintf("qoe: sequence lengths differ: %d vs %d", len(ref), len(displayed)))
 	}
@@ -197,7 +225,6 @@ func CompareVideo(ref, displayed []*media.Frame, stride int) VideoResult {
 		stride = 1
 	}
 	var res VideoResult
-	var black *media.Frame
 	freezes := 0
 	scored := 0
 	var prevShown *media.Frame
@@ -211,14 +238,12 @@ func CompareVideo(ref, displayed []*media.Frame, stride int) VideoResult {
 			continue
 		}
 		if shown == nil {
-			if black == nil {
-				black = media.NewFrame(ref[i].W, ref[i].H)
-			}
-			shown = black
+			shown = sc.blackFor(ref[i].W, ref[i].H)
 		}
-		res.PSNR += PSNR(ref[i], shown)
-		res.SSIM += SSIM(ref[i], shown)
-		res.VIFP += VIFP(ref[i], shown)
+		ps := sc.scorePair(ref[i], shown)
+		res.PSNR += ps.psnr
+		res.SSIM += ps.ssim
+		res.VIFP += ps.vifp
 		scored++
 	}
 	if scored > 0 {

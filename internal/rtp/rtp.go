@@ -78,7 +78,12 @@ func (p *Packetizer) Video(ef *codec.EncodedFrame) []*Packet {
 	if count == 0 {
 		count = 1
 	}
-	pkts := make([]*Packet, 0, count)
+	// One frame's fragments are allocated as three slabs (pointer slice,
+	// packets, payloads) instead of 1+2*count individual objects; the
+	// fragments live and die together, so batching costs no retention.
+	pkts := make([]*Packet, count)
+	backing := make([]Packet, count)
+	payloads := make([]Payload, count)
 	remaining := mediaBytes
 	for i := 0; i < count; i++ {
 		frag := maxFrag
@@ -86,7 +91,8 @@ func (p *Packetizer) Video(ef *codec.EncodedFrame) []*Packet {
 			frag = remaining
 		}
 		remaining -= frag
-		pkt := &Packet{
+		payloads[i] = Payload{Video: ef, FragIndex: i, FragCount: count}
+		backing[i] = Packet{
 			Info: capture.RTPInfo{
 				SSRC:    p.ssrc,
 				Seq:     p.seq,
@@ -96,10 +102,10 @@ func (p *Packetizer) Video(ef *codec.EncodedFrame) []*Packet {
 				KeyUnit: ef.Keyframe,
 			},
 			Bytes: HeaderLen + frag,
-			Data:  &Payload{Video: ef, FragIndex: i, FragCount: count},
+			Data:  &payloads[i],
 		}
+		pkts[i] = &backing[i]
 		p.seq++
-		pkts = append(pkts, pkt)
 	}
 	return pkts
 }
@@ -141,12 +147,55 @@ type Reassembler struct {
 	stats   Stats
 	lastPkt uint16
 	havePkt bool
+	freeAsm []*assembly // recycled assemblies (finished or abandoned)
 }
 
 type assembly struct {
 	frame *codec.EncodedFrame
-	got   map[int]bool
+	got   uint64       // fragment-arrival bitmask when count <= 64
+	big   map[int]bool // fallback for frames wider than the bitmask
+	ngot  int          // distinct fragments seen
 	count int
+}
+
+// add records fragment i's arrival, ignoring duplicates.
+func (a *assembly) add(i int) {
+	if a.big != nil {
+		if !a.big[i] {
+			a.big[i] = true
+			a.ngot++
+		}
+		return
+	}
+	if bit := uint64(1) << uint(i); a.got&bit == 0 {
+		a.got |= bit
+		a.ngot++
+	}
+}
+
+// newAssembly takes an assembly from the free-list (or the heap).
+func (r *Reassembler) newAssembly(ef *codec.EncodedFrame, count int) *assembly {
+	var a *assembly
+	if k := len(r.freeAsm); k > 0 {
+		a = r.freeAsm[k-1]
+		r.freeAsm = r.freeAsm[:k-1]
+		*a = assembly{}
+	} else {
+		a = &assembly{}
+	}
+	a.frame = ef
+	a.count = count
+	if count > 64 {
+		a.big = make(map[int]bool, count)
+	}
+	return a
+}
+
+// release recycles an assembly whose frame seq has been closed.
+func (r *Reassembler) release(a *assembly) {
+	a.frame = nil
+	a.big = nil
+	r.freeAsm = append(r.freeAsm, a)
 }
 
 // NewReassembler creates a reassembler. depth is the completion window in
@@ -190,24 +239,26 @@ func (r *Reassembler) Push(pkt *Packet) (videos []*codec.EncodedFrame, audio *co
 	}
 	a := r.pend[fseq]
 	if a == nil {
-		a = &assembly{frame: ef, got: make(map[int]bool), count: pkt.Data.FragCount}
+		a = r.newAssembly(ef, pkt.Data.FragCount)
 		r.pend[fseq] = a
 	}
-	a.got[pkt.Data.FragIndex] = true
+	a.add(pkt.Data.FragIndex)
 	if fseq > r.maxSeen {
 		r.maxSeen = fseq
 	}
-	if len(a.got) == a.count {
+	if a.ngot == a.count {
 		delete(r.pend, fseq)
+		r.release(a)
 		r.doneSeq[fseq] = true
 		r.stats.FramesComplete++
 		videos = append(videos, ef)
 	}
 	// Abandon frames the window has moved past; close them so late
 	// fragments cannot re-open (and re-count) them.
-	for s := range r.pend {
+	for s, old := range r.pend {
 		if s < r.maxSeen-r.depth {
 			delete(r.pend, s)
+			r.release(old)
 			r.doneSeq[s] = true
 			r.stats.FramesDropped++
 		}
@@ -218,6 +269,9 @@ func (r *Reassembler) Push(pkt *Packet) (videos []*codec.EncodedFrame, audio *co
 // Flush abandons all pending frames (end of session) and returns stats.
 func (r *Reassembler) Flush() Stats {
 	r.stats.FramesDropped += len(r.pend)
+	for _, a := range r.pend {
+		r.release(a)
+	}
 	r.pend = make(map[int]*assembly)
 	return r.stats
 }

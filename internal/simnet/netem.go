@@ -3,6 +3,8 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"strconv"
 	"time"
 
 	"github.com/vcabench/vcabench/internal/geo"
@@ -14,7 +16,9 @@ type Addr struct {
 	Port int
 }
 
-func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Node, a.Port) }
+// String formats the address as "node:port". Built by concatenation, not
+// fmt, because capture taps stringify addresses on the per-packet path.
+func (a Addr) String() string { return a.Node + ":" + strconv.Itoa(a.Port) }
 
 // Packet is a simulated UDP datagram. Size is the L7 payload length in
 // bytes (the quantity the paper computes data rates from); the simulator
@@ -30,6 +34,15 @@ type Packet struct {
 	SentAt  time.Time
 	// Hop bookkeeping (set by the simulator).
 	ArrivedAt time.Time
+
+	// Simulator-internal routing state. Keeping it on the packet lets
+	// every hop be scheduled through package-level payload calls instead
+	// of per-packet closures.
+	src    *Node         // sender, for deferred SendAt
+	dst    *Node         // resolved destination node
+	pipe   *pipe         // pipe currently serializing the packet
+	then   func(*Packet) // continuation after the current pipe stage
+	pooled bool          // came from a Network free-list
 }
 
 // WireOverhead is the per-packet IPv4+UDP header cost used for link
@@ -112,13 +125,19 @@ type PipeProbe interface {
 	PipeDropped(pipe string, at time.Time, wire int, cause DropCause)
 }
 
+// txTabSize bounds the per-pipe serialization table: every wire size a
+// client can produce (MTU-fragmented RTP plus WireOverhead) is far below
+// it, so the rate stage never divides on the hot path.
+const txTabSize = 2048
+
 // pipe is one direction of a node's access link: optional random loss,
 // optional token-bucket shaper, FIFO with a byte-bounded queue, a
 // serialization rate, and an optional fixed extra delay applied after
 // the rate stage (netem-style delay).
 type pipe struct {
 	sim        *Sim
-	name       string // "<node>/up" or "<node>/down", for probes
+	net        *Network // for releasing pooled packets on drops; nil in unit tests
+	name       string   // "<node>/up" or "<node>/down", for probes
 	rateBps    int64
 	queueLimit int
 	shaper     *TokenBucket
@@ -127,6 +146,7 @@ type pipe struct {
 	rng        *randSource
 	queuedB    int
 	nextFree   time.Time
+	txTab      []time.Duration // txTab[w] = txDuration(w, rateBps); nil when unconstrained
 	stats      PipeStats
 	probe      PipeProbe
 }
@@ -134,6 +154,22 @@ type pipe struct {
 // randSource is the minimal random interface pipes need (test seam).
 type randSource struct {
 	f64 func() float64
+}
+
+// tx returns the serialization time for a wire size, from the
+// precomputed table when possible.
+func (p *pipe) tx(wire int) time.Duration {
+	if wire >= 0 && wire < len(p.txTab) {
+		return p.txTab[wire]
+	}
+	return txDuration(wire, p.rateBps)
+}
+
+// release returns a pooled packet the pipe dropped.
+func (p *pipe) release(pkt *Packet) {
+	if p.net != nil {
+		p.net.release(pkt)
+	}
 }
 
 func (p *pipe) deliverAfter(pkt *Packet, then func(*Packet)) {
@@ -144,6 +180,7 @@ func (p *pipe) deliverAfter(pkt *Packet, then func(*Packet)) {
 		if p.probe != nil {
 			p.probe.PipeDropped(p.name, now, wire, DropRandom)
 		}
+		p.release(pkt)
 		return
 	}
 	// Unconstrained pipe: forward immediately.
@@ -165,6 +202,7 @@ func (p *pipe) deliverAfter(pkt *Packet, then func(*Packet)) {
 		if p.probe != nil {
 			p.probe.PipeDropped(p.name, now, wire, DropQueue)
 		}
+		p.release(pkt)
 		return
 	}
 	departAt := now
@@ -175,7 +213,7 @@ func (p *pipe) deliverAfter(pkt *Packet, then func(*Packet)) {
 		departAt = p.shaper.Admit(departAt, wire)
 	}
 	if p.rateBps > 0 {
-		departAt = departAt.Add(txDuration(wire, p.rateBps))
+		departAt = departAt.Add(p.tx(wire))
 	}
 	// The delay stage holds the packet after the rate stage without
 	// occupying the serializer or the queue: a constant delay shifts
@@ -195,14 +233,46 @@ func (p *pipe) deliverAfter(pkt *Packet, then func(*Packet)) {
 		p.sim.At(departAt.Add(extra), func() { then(pkt) })
 		return
 	}
-	p.sim.At(departAt, func() {
-		p.queuedB -= wire
-		then(pkt)
-	})
+	pkt.pipe = p
+	pkt.then = then
+	p.sim.AtCall(departAt, pipeDequeue, pkt)
 }
 
-func txDuration(bytes int, bps int64) time.Duration {
-	return time.Duration(float64(bytes*8) / float64(bps) * float64(time.Second))
+// pipeDequeue releases the packet's queue bytes at serialization end and
+// runs its continuation — the payload-call form of the old per-packet
+// closure.
+func pipeDequeue(arg any) {
+	pkt := arg.(*Packet)
+	p := pkt.pipe
+	pkt.pipe = nil
+	p.queuedB -= pkt.wireSize()
+	then := pkt.then
+	pkt.then = nil
+	then(pkt)
+}
+
+// txDuration returns the serialization time of nbytes at bps in exact
+// integer nanoseconds, rounded up so a draining queue can never beat the
+// configured rate. (The former float64 form rounded the intermediate and
+// truncated toward zero, letting long queues drain marginally faster
+// than rateBps.) The 128-bit intermediate guards nbytes*8e9 against
+// overflow; unrepresentable results saturate at the maximum Duration.
+func txDuration(nbytes int, bps int64) time.Duration {
+	if nbytes <= 0 || bps <= 0 {
+		return 0
+	}
+	hi, lo := bits.Mul64(uint64(nbytes), 8*uint64(time.Second))
+	if hi >= uint64(bps) {
+		return time.Duration(math.MaxInt64)
+	}
+	q, r := bits.Div64(hi, lo, uint64(bps))
+	if r > 0 {
+		q++
+	}
+	if q > uint64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(q)
 }
 
 // TokenBucket is a tc-tbf style policer: tokens (bytes) refill at Rate up
@@ -225,6 +295,11 @@ func NewTokenBucket(rateBps int64, burst int) *TokenBucket {
 
 // Admit returns the earliest time at or after now at which a packet of the
 // given byte size may depart, and debits the bucket accordingly.
+//
+// The arithmetic is deliberately untouched by the serialization-table
+// work: admission times depend on continuous bucket state, so there is
+// nothing to precompute without changing the float rounding — and the
+// byte-identity invariant pins the rounding.
 func (tb *TokenBucket) Admit(now time.Time, bytes int) time.Time {
 	if tb.RateBps <= 0 {
 		return now
@@ -271,6 +346,10 @@ type Node struct {
 	handlers map[int]Handler
 	taps     []Tap
 	sent     PipeStats // convenience aggregate (app-level)
+	// Prebound pipe continuations, built once at AddNode so the
+	// per-packet path never allocates a closure.
+	upThen   func(*Packet) // after uplink: cross the core
+	downThen func(*Packet) // after downlink: deliver to taps + handler
 }
 
 // Name returns the node's name.
@@ -358,14 +437,32 @@ func (n *Node) Send(pkt *Packet) error {
 	if !ok {
 		return fmt.Errorf("simnet: send to unknown node %q", pkt.To.Node)
 	}
+	pkt.dst = dst
 	pkt.SentAt = n.net.sim.Now()
 	for _, t := range n.taps {
 		t(DirOut, pkt, pkt.SentAt)
 	}
-	n.up.deliverAfter(pkt, func(p *Packet) {
-		n.net.propagate(n, dst, p)
-	})
+	n.up.deliverAfter(pkt, n.upThen)
 	return nil
+}
+
+// SendAt schedules Send(pkt) at virtual time t, without allocating a
+// closure or an event: the deferred-forward form platform relays use on
+// their per-packet fan-out path. Undeliverable pooled packets are
+// recycled.
+func (n *Node) SendAt(t time.Time, pkt *Packet) {
+	pkt.src = n
+	n.net.sim.AtCall(t, sendDeferred, pkt)
+}
+
+// sendDeferred is the payload call behind SendAt.
+func sendDeferred(arg any) {
+	pkt := arg.(*Packet)
+	src := pkt.src
+	pkt.src = nil
+	if src.Send(pkt) != nil {
+		src.net.release(pkt)
+	}
 }
 
 // Network couples a Sim with a set of nodes and a latency model.
@@ -380,6 +477,11 @@ type Network struct {
 	lrng      *randSource
 	distDrops int64
 	pipeProbe PipeProbe
+	// freePkts is the packet free-list behind NewPacket. Per-network —
+	// and so per-testbed, per-goroutine — which keeps reuse deterministic
+	// and race-free without locks (forked testbeds build their own
+	// Network and never share one).
+	freePkts []*Packet
 }
 
 type randSourceN struct {
@@ -423,6 +525,34 @@ func NewNetwork(sim *Sim, cfg NetworkConfig) *Network {
 	}
 }
 
+// NewPacket returns a zeroed packet from the network's free-list. Pooled
+// packets are recycled by the simulator once fully delivered (after the
+// destination handler returns) or dropped, so senders must treat them as
+// consumed by Send/SendAt, and handlers must not retain them past the
+// delivery callback. Application code that keeps packet descriptors
+// should allocate Packet literals instead — the simulator never recycles
+// packets it did not pool.
+func (n *Network) NewPacket() *Packet {
+	if k := len(n.freePkts); k > 0 {
+		p := n.freePkts[k-1]
+		n.freePkts = n.freePkts[:k-1]
+		p.pooled = true
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// release recycles a pooled packet; non-pooled packets pass through
+// untouched. Clearing the struct drops payload references (GC) and the
+// pooled flag, making a double release a no-op.
+func (n *Network) release(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	*p = Packet{}
+	n.freePkts = append(n.freePkts, p)
+}
+
 // DistanceDrops reports packets lost to distance-dependent path loss.
 func (n *Network) DistanceDrops() int64 { return n.distDrops }
 
@@ -460,22 +590,48 @@ func (n *Network) AddNode(cfg NodeConfig) *Node {
 		handlers: make(map[int]Handler),
 	}
 	node.up = &pipe{
-		sim:     n.sim,
+		sim: n.sim, net: n,
 		name:    cfg.Name + "/up",
 		rateBps: cfg.UplinkBps, queueLimit: cfg.QueueBytes,
+		txTab: txTable(cfg.UplinkBps),
 		rng:   &randSource{f64: lrng.Float64},
 		probe: n.pipeProbe,
 	}
 	node.down = &pipe{
-		sim:     n.sim,
+		sim: n.sim, net: n,
 		name:    cfg.Name + "/down",
 		rateBps: cfg.DownlinkBps, queueLimit: cfg.QueueBytes,
+		txTab:    txTable(cfg.DownlinkBps),
 		lossProb: cfg.LossProb,
 		rng:      &randSource{f64: lrng.Float64},
 		probe:    n.pipeProbe,
 	}
+	node.upThen = func(p *Packet) { n.propagate(node, p.dst, p) }
+	node.downThen = func(p *Packet) {
+		p.ArrivedAt = n.sim.Now()
+		for _, t := range node.taps {
+			t(DirIn, p, p.ArrivedAt)
+		}
+		if h, ok := node.handlers[p.To.Port]; ok {
+			h(p)
+		}
+		n.release(p)
+	}
 	n.nodes[cfg.Name] = node
 	return node
+}
+
+// txTable precomputes txDuration for every wire size below txTabSize;
+// nil for unconstrained links.
+func txTable(bps int64) []time.Duration {
+	if bps <= 0 {
+		return nil
+	}
+	tab := make([]time.Duration, txTabSize)
+	for w := 1; w < txTabSize; w++ {
+		tab[w] = txDuration(w, bps)
+	}
+	return tab
 }
 
 // Node returns a node by name, or nil.
@@ -488,6 +644,7 @@ func (n *Network) propagate(src, dst *Node, pkt *Packet) {
 		p := n.distLoss * float64(d) / float64(100*time.Millisecond)
 		if n.lrng.f64() < p {
 			n.distDrops++
+			n.release(pkt)
 			return
 		}
 	}
@@ -503,15 +660,15 @@ func (n *Network) propagate(src, dst *Node, pkt *Packet) {
 		arr = last.Add(time.Nanosecond)
 	}
 	n.lastArr[key] = arr
-	n.sim.At(arr, func() {
-		dst.down.deliverAfter(pkt, func(p *Packet) {
-			p.ArrivedAt = n.sim.Now()
-			for _, t := range dst.taps {
-				t(DirIn, p, p.ArrivedAt)
-			}
-			if h, ok := dst.handlers[p.To.Port]; ok {
-				h(p)
-			}
-		})
-	})
+	pkt.dst = dst
+	n.sim.AtCall(arr, deliverDown, pkt)
+}
+
+// deliverDown hands an arriving packet to the destination's downlink
+// pipe — the payload-call form of the old per-packet closure pair.
+func deliverDown(arg any) {
+	pkt := arg.(*Packet)
+	dst := pkt.dst
+	pkt.dst = nil
+	dst.down.deliverAfter(pkt, dst.downThen)
 }

@@ -25,18 +25,45 @@ var Epoch = time.Date(2021, time.April, 1, 0, 0, 0, 0, time.UTC)
 
 // Event is a scheduled callback. Cancel prevents a pending event from
 // firing; cancelling an already-fired event is a no-op.
+//
+// Events handed out by At/After live in per-Sim append-only slabs: they
+// are batch-allocated but never reused, so a stale handle can never
+// observe (or cancel) an unrelated later event. Internal payload events
+// (pcall) are recycled through a free-list instead — those are never
+// exposed, so no stale handle to them can exist.
 type Event struct {
-	at        time.Time
-	seq       uint64
-	fn        func()
+	at  time.Time
+	seq uint64
+	fn  func()
+	// Payload-call form: pcall(parg) with a package-level function and a
+	// pointer argument, so internal per-packet scheduling costs no
+	// closure allocation. Exactly one of fn/pcall is set.
+	pcall     func(any)
+	parg      any
+	sim       *Sim
 	cancelled bool
-	index     int // heap index, -1 when popped
+	recycle   bool // internal payload event: freed back to sim after firing
+	index     int  // heap index, -1 when popped
 }
 
-// Cancel prevents the event from firing.
-func (e *Event) Cancel() { e.cancelled = true }
+// Cancel prevents the event from firing. Cancelling keeps the entry in
+// the queue (it is discarded lazily when reached) but removes it from
+// the live-event count immediately, so Pending and the step probe never
+// overcount cancelled work.
+func (e *Event) Cancel() {
+	if e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.index >= 0 && e.sim != nil {
+		e.sim.live--
+	}
+}
 
-// When returns the virtual time the event is scheduled for.
+// When returns the virtual time the event is scheduled for. For a ticker
+// handle from Every this is the next scheduled tick; after the handle is
+// cancelled (or, for one-shot events, after firing) it reports the last
+// scheduled time.
 func (e *Event) When() time.Time { return e.at }
 
 type eventQueue []*Event
@@ -68,6 +95,11 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// eventChunkSize is the slab granularity: one allocation serves this many
+// scheduled events. Chunks are abandoned to the GC as their events die
+// (events die roughly in time order, so chunks drain front to back).
+const eventChunkSize = 256
+
 // Sim is the discrete-event engine: a virtual clock plus an event queue.
 type Sim struct {
 	now    time.Time
@@ -76,9 +108,18 @@ type Sim struct {
 	seed   int64
 	rng    *rand.Rand
 	nsteps uint64
+	// live counts scheduled events that have neither fired nor been
+	// cancelled — the queue depth the step probe and Pending report.
+	// (queue.Len() would overcount: cancelled events are discarded
+	// lazily when they reach the front.)
+	live int
+	// chunk is the current event slab (see eventChunkSize); free is the
+	// free-list of recycled internal payload events.
+	chunk []Event
+	free  []*Event
 	// stepProbe, when set, observes every executed event: the virtual
-	// instant it ran at and the number of events still pending after it
-	// was popped. Nil (the default) costs one branch per step.
+	// instant it ran at and the number of live events still pending after
+	// it was popped. Nil (the default) costs one branch per step.
 	stepProbe func(at time.Time, depth int)
 }
 
@@ -115,16 +156,55 @@ func (s *Sim) Fork(name string) *rand.Rand {
 	return rand.New(rand.NewSource(s.seed ^ int64(h.Sum64())))
 }
 
-// At schedules fn at absolute virtual time t. Scheduling in the past is a
-// programming error and panics.
-func (s *Sim) At(t time.Time, fn func()) *Event {
+// alloc returns a zeroed Event from the current slab chunk.
+func (s *Sim) alloc() *Event {
+	if len(s.chunk) == cap(s.chunk) {
+		s.chunk = make([]Event, 0, eventChunkSize)
+	}
+	s.chunk = append(s.chunk, Event{sim: s})
+	return &s.chunk[len(s.chunk)-1]
+}
+
+// schedule assigns the next sequence number and queues e at t. Scheduling
+// in the past is a programming error and panics.
+func (s *Sim) schedule(e *Event, t time.Time) {
 	if t.Before(s.now) {
 		panic("simnet: scheduling event in the past")
 	}
 	s.seq++
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	e.at = t
+	e.seq = s.seq
 	heap.Push(&s.queue, e)
+	s.live++
+}
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is a
+// programming error and panics.
+func (s *Sim) At(t time.Time, fn func()) *Event {
+	e := s.alloc()
+	e.fn = fn
+	s.schedule(e, t)
 	return e
+}
+
+// AtCall schedules fn(arg) at absolute virtual time t. It is the
+// zero-allocation scheduling form for per-packet work: with fn a
+// package-level function and arg a pointer, neither the call nor the
+// event costs a heap allocation (the event is recycled after firing).
+// No handle is returned — AtCall work cannot be cancelled, which is
+// exactly what makes recycling the event safe.
+func (s *Sim) AtCall(t time.Time, fn func(any), arg any) {
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		e = s.alloc()
+		e.recycle = true
+	}
+	e.pcall = fn
+	e.parg = arg
+	s.schedule(e, t)
 }
 
 // After schedules fn after virtual duration d (d < 0 is treated as 0).
@@ -137,23 +217,25 @@ func (s *Sim) After(d time.Duration, fn func()) *Event {
 
 // Every schedules fn every period, starting after the first period, until
 // the returned Event is cancelled. fn observes the tick time via Now.
+//
+// The handle is the scheduled event itself, rescheduled by its own tick:
+// When() reports the next pending tick, and Cancel removes the ticker
+// from the live queue immediately (a cancelled ticker consumes no
+// further steps).
 func (s *Sim) Every(period time.Duration, fn func()) *Event {
 	if period <= 0 {
 		panic("simnet: Every with non-positive period")
 	}
-	// The controlling event handle; rescheduling preserves cancellation.
-	ctl := &Event{}
-	var tick func()
-	tick = func() {
-		if ctl.cancelled {
-			return
-		}
+	// Long-lived and caller-held, so allocated alone rather than pinning
+	// a slab chunk for the ticker's whole lifetime.
+	ctl := &Event{sim: s, index: -1}
+	ctl.fn = func() {
 		fn()
 		if !ctl.cancelled {
-			s.After(period, tick)
+			s.schedule(ctl, s.now.Add(period))
 		}
 	}
-	s.After(period, tick)
+	s.schedule(ctl, s.now.Add(period))
 	return ctl
 }
 
@@ -167,10 +249,22 @@ func (s *Sim) Step() bool {
 		}
 		s.now = e.at
 		s.nsteps++
+		s.live--
 		if s.stepProbe != nil {
-			s.stepProbe(e.at, s.queue.Len())
+			s.stepProbe(e.at, s.live)
 		}
-		e.fn()
+		if e.pcall != nil {
+			fn, arg := e.pcall, e.parg
+			if e.recycle {
+				// Release before the call: the event is off the queue, so
+				// the call may immediately reuse it for its own scheduling.
+				e.pcall, e.parg = nil, nil
+				s.free = append(s.free, e)
+			}
+			fn(arg)
+		} else {
+			e.fn()
+		}
 		return true
 	}
 	return false
@@ -209,6 +303,6 @@ func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
 // benchmarks).
 func (s *Sim) Steps() uint64 { return s.nsteps }
 
-// Pending returns the number of events still queued (including cancelled
-// events not yet discarded).
-func (s *Sim) Pending() int { return s.queue.Len() }
+// Pending returns the number of live events still queued. Cancelled
+// events awaiting lazy discard are not counted.
+func (s *Sim) Pending() int { return s.live }
